@@ -1,0 +1,127 @@
+//! Incomparable colors.
+//!
+//! "Let C be a set of mutually incomparable elements, called *colors*:
+//! for any x, y ∈ C it can only be determined whether they are equal or
+//! different." The type below enforces that at the API level: [`Color`]
+//! supports equality and hashing but **not** ordering — there is no
+//! `PartialOrd`/`Ord` implementation, and the inner nonce is private, so
+//! protocol code cannot compile a comparison between two colors.
+//!
+//! Nonces are drawn pseudo-randomly per run so that even a protocol that
+//! somehow observed the bit patterns (e.g. through `Hash`) could not rely
+//! on a stable order across runs: the experiment suite re-runs protocols
+//! under many color assignments and a sound protocol must produce
+//! schedule-independent results.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// An opaque color: equality-only, per the qualitative model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Color(u64);
+
+impl Color {
+    /// Expose the nonce for *serialization by the simulator only* (the
+    /// Fig. 1 transformation must ship colors inside messages). Protocol
+    /// code has no business calling this; it is `doc(hidden)` to keep it
+    /// out of the public API surface.
+    #[doc(hidden)]
+    pub fn nonce(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a nonce (simulator internal).
+    #[doc(hidden)]
+    pub fn from_nonce(nonce: u64) -> Color {
+        Color(nonce)
+    }
+}
+
+impl fmt::Debug for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A short, deliberately order-free rendering.
+        write!(f, "color·{:04x}", self.0 & 0xffff)
+    }
+}
+
+impl fmt::Display for Color {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Issues distinct colors with randomized nonces.
+#[derive(Debug)]
+pub struct ColorRegistry {
+    rng: StdRng,
+    issued: Vec<u64>,
+}
+
+impl ColorRegistry {
+    /// A registry seeded for reproducibility.
+    pub fn new(seed: u64) -> ColorRegistry {
+        ColorRegistry { rng: StdRng::seed_from_u64(seed ^ 0xC01_0FF), issued: Vec::new() }
+    }
+
+    /// Issue a fresh color, distinct from all previously issued ones.
+    pub fn fresh(&mut self) -> Color {
+        loop {
+            let nonce = self.rng.gen::<u64>();
+            if !self.issued.contains(&nonce) {
+                self.issued.push(nonce);
+                return Color(nonce);
+            }
+        }
+    }
+
+    /// Issue `r` fresh colors.
+    pub fn fresh_many(&mut self, r: usize) -> Vec<Color> {
+        (0..r).map(|_| self.fresh()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_are_distinct() {
+        let mut reg = ColorRegistry::new(1);
+        let colors = reg.fresh_many(100);
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                assert_ne!(colors[i], colors[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn equality_works() {
+        let mut reg = ColorRegistry::new(2);
+        let c = reg.fresh();
+        let d = c;
+        assert_eq!(c, d);
+    }
+
+    #[test]
+    fn seeding_is_reproducible() {
+        let a = ColorRegistry::new(7).fresh_many(5);
+        let b = ColorRegistry::new(7).fresh_many(5);
+        assert_eq!(
+            a.iter().map(|c| c.nonce()).collect::<Vec<_>>(),
+            b.iter().map(|c| c.nonce()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ColorRegistry::new(1).fresh();
+        let b = ColorRegistry::new(2).fresh();
+        assert_ne!(a, b);
+    }
+
+    // Compile-time property (documented): Color implements neither
+    // PartialOrd nor Ord. The following would fail to compile:
+    // fn _no_order(a: Color, b: Color) -> bool { a < b }
+}

@@ -1,0 +1,140 @@
+//! The agent's view of the world: the [`MobileCtx`] trait.
+//!
+//! Protocol code is written once, generically over `MobileCtx`, and runs
+//! unchanged on the deterministic gated engine and on the free-running
+//! parallel engine. The trait exposes exactly the capabilities the
+//! paper's model grants an agent at a node: its own color, the local
+//! degree, the port it entered through, the whiteboard (read or atomic
+//! read-modify-write under mutual exclusion), moving through a port, and
+//! waiting for the board to change.
+
+use crate::color::Color;
+use crate::sign::Sign;
+use crate::whiteboard::Whiteboard;
+use std::fmt;
+
+/// An agent-local port name at the current node: values `0..degree`.
+///
+/// The runtime maps each agent's local numbering to the underlying port
+/// symbols through a per-(agent, node) scramble, so two agents at the
+/// same node generally disagree on which local number denotes which
+/// edge — "local comparable labels" with no global meaning, as the
+/// qualitative model prescribes. The numbering is *stable* for one agent
+/// across visits, which is what lets an agent build and use a map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalPort(pub u32);
+
+impl fmt::Display for LocalPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lp{}", self.0)
+    }
+}
+
+/// Why a primitive operation was interrupted by the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Every live agent is waiting on an unchanged whiteboard — the
+    /// configuration can never progress.
+    Deadlock,
+    /// The global step budget was exhausted (the runtime's livelock
+    /// detector for impossibility experiments).
+    StepLimit,
+    /// The run was cancelled (watchdog or explicit stop).
+    Cancelled,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Deadlock => write!(f, "deadlock: all agents waiting"),
+            Interrupt::StepLimit => write!(f, "step budget exhausted"),
+            Interrupt::Cancelled => write!(f, "run cancelled"),
+        }
+    }
+}
+
+/// The terminal state of an agent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentOutcome {
+    /// Elected leader.
+    Leader,
+    /// Learned the leader's color and stepped down.
+    Defeated,
+    /// Determined that election is unsolvable on this instance.
+    Unsolvable,
+    /// The protocol could neither elect nor certify impossibility (the
+    /// documented Theorem 4.1 corner; see `qelect-group` crate docs).
+    Undecided,
+    /// Interrupted by the runtime.
+    Interrupted(Interrupt),
+}
+
+/// The capabilities of an agent at its current node.
+///
+/// Every method that touches the environment is *fallible*: the runtime
+/// may interrupt (deadlock detection, step budget), and protocol code
+/// propagates the interrupt with `?`.
+pub trait MobileCtx {
+    /// This agent's own color.
+    fn color(&self) -> Color;
+
+    /// Degree of the current node (the number of local ports).
+    fn degree(&mut self) -> usize;
+
+    /// The local port through which the agent entered the current node
+    /// (`None` at the home-base before the first move).
+    fn entry(&self) -> Option<LocalPort>;
+
+    /// Snapshot the current node's whiteboard (one mutual-exclusion
+    /// access).
+    fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt>;
+
+    /// Atomically inspect-and-mutate the current node's whiteboard (one
+    /// mutual-exclusion access). This is the primitive behind "the first
+    /// agent to write wins" arbitration.
+    fn with_board<R>(
+        &mut self,
+        f: impl FnOnce(&mut Whiteboard) -> R,
+    ) -> Result<R, Interrupt>;
+
+    /// Traverse the edge behind the given local port. Returns nothing;
+    /// the new node's data is observable through the other methods.
+    fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt>;
+
+    /// Block until the current node's whiteboard satisfies the predicate.
+    /// The runtime re-evaluates only when the board version changes, and
+    /// detects global deadlocks.
+    fn wait_until(
+        &mut self,
+        pred: impl Fn(&Whiteboard) -> bool,
+    ) -> Result<(), Interrupt>;
+
+    /// Record a named checkpoint in the metrics stream (free: does not
+    /// count as a move or board access).
+    fn checkpoint(&mut self, label: &str);
+
+    /// All local ports at the current node: `0..degree`.
+    fn ports(&mut self) -> Vec<LocalPort> {
+        (0..self.degree() as u32).map(LocalPort).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interrupt_display() {
+        assert!(Interrupt::Deadlock.to_string().contains("deadlock"));
+        assert!(Interrupt::StepLimit.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn outcome_equality() {
+        assert_eq!(AgentOutcome::Leader, AgentOutcome::Leader);
+        assert_ne!(
+            AgentOutcome::Leader,
+            AgentOutcome::Interrupted(Interrupt::Deadlock)
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! The free-running parallel execution engine.
+//!
+//! Agents run genuinely concurrently — one OS thread each, whiteboards
+//! behind `parking_lot` mutexes, waits on condvars — with no scheduler
+//! gate. Outcomes are schedule-dependent exactly as the asynchronous
+//! model allows; correct protocols must produce valid results under any
+//! interleaving, and the test-suite cross-checks free runs against gated
+//! runs. A wall-clock watchdog and an operation budget bound runaway
+//! executions.
+
+use crate::color::{Color, ColorRegistry};
+use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
+use crate::gated::RunReport;
+use crate::metrics::{AgentMetrics, Checkpoint, Metrics};
+use crate::sign::{Sign, SignKind};
+use crate::whiteboard::Whiteboard;
+use parking_lot::{Condvar, Mutex};
+use qelect_graph::{Bicolored, Graph, Port};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a free run.
+#[derive(Debug, Clone, Copy)]
+pub struct FreeRunConfig {
+    /// Seed for colors and port scrambles.
+    pub seed: u64,
+    /// Wall-clock watchdog: the run is cancelled after this much time.
+    pub timeout: Duration,
+    /// Total operation budget across agents.
+    pub max_ops: u64,
+    /// Per-agent scrambled port numberings (see the gated engine).
+    pub scramble_ports: bool,
+}
+
+impl Default for FreeRunConfig {
+    fn default() -> Self {
+        FreeRunConfig {
+            seed: 0,
+            timeout: Duration::from_secs(30),
+            max_ops: 50_000_000,
+            scramble_ports: true,
+        }
+    }
+}
+
+const INT_NONE: u8 = 0;
+const INT_CANCELLED: u8 = 1;
+const INT_STEP: u8 = 2;
+
+struct BoardCell {
+    board: Mutex<Whiteboard>,
+    changed: Condvar,
+}
+
+struct FreeShared {
+    graph: Graph,
+    boards: Vec<BoardCell>,
+    metrics: Vec<AgentMetrics>,
+    checkpoints: Mutex<Vec<Checkpoint>>,
+    ops: AtomicU64,
+    interrupt: AtomicU8,
+    max_ops: u64,
+    port_seed: u64,
+    scramble_ports: bool,
+}
+
+impl FreeShared {
+    fn interrupt_reason(&self) -> Option<Interrupt> {
+        match self.interrupt.load(Ordering::Acquire) {
+            INT_CANCELLED => Some(Interrupt::Cancelled),
+            INT_STEP => Some(Interrupt::StepLimit),
+            _ => None,
+        }
+    }
+
+    fn charge_op(&self) -> Result<(), Interrupt> {
+        if let Some(i) = self.interrupt_reason() {
+            return Err(i);
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if n >= self.max_ops {
+            self.interrupt.store(INT_STEP, Ordering::Release);
+            self.wake_all();
+            return Err(Interrupt::StepLimit);
+        }
+        Ok(())
+    }
+
+    fn wake_all(&self) {
+        for cell in &self.boards {
+            cell.changed.notify_all();
+        }
+    }
+
+    fn port_map(&self, agent: usize, node: usize) -> Vec<Port> {
+        let syms: Vec<Port> = self.graph.ports_at(node);
+        if self.scramble_ports {
+            crate::shuffle::scrambled_ports(self.port_seed, agent, node, syms)
+        } else {
+            syms
+        }
+    }
+}
+
+/// The concrete [`MobileCtx`] of the free-running engine.
+pub struct FreeCtx {
+    shared: Arc<FreeShared>,
+    id: usize,
+    color: Color,
+    node: usize,
+    entry: Option<LocalPort>,
+}
+
+impl MobileCtx for FreeCtx {
+    fn color(&self) -> Color {
+        self.color
+    }
+
+    fn degree(&mut self) -> usize {
+        self.shared.graph.degree(self.node)
+    }
+
+    fn entry(&self) -> Option<LocalPort> {
+        self.entry
+    }
+
+    fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt> {
+        self.shared.charge_op()?;
+        self.shared.metrics[self.id]
+            .accesses
+            .fetch_add(1, Ordering::Relaxed);
+        let board = self.shared.boards[self.node].board.lock();
+        Ok(board.signs().to_vec())
+    }
+
+    fn with_board<R>(
+        &mut self,
+        f: impl FnOnce(&mut Whiteboard) -> R,
+    ) -> Result<R, Interrupt> {
+        self.shared.charge_op()?;
+        self.shared.metrics[self.id]
+            .accesses
+            .fetch_add(1, Ordering::Relaxed);
+        let cell = &self.shared.boards[self.node];
+        let mut board = cell.board.lock();
+        let before = board.version();
+        let out = f(&mut board);
+        let changed = board.version() != before;
+        drop(board);
+        if changed {
+            cell.changed.notify_all();
+        }
+        Ok(out)
+    }
+
+    fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt> {
+        self.shared.charge_op()?;
+        let map = self.shared.port_map(self.id, self.node);
+        let sym = *map
+            .get(port.0 as usize)
+            .unwrap_or_else(|| panic!("agent {} used invalid local port {port}", self.id));
+        let (dest, entry_sym) = self
+            .shared
+            .graph
+            .move_along(self.node, sym)
+            .expect("port map consistent");
+        let dest_map = self.shared.port_map(self.id, dest);
+        let entry_local = dest_map
+            .iter()
+            .position(|&p| p == entry_sym)
+            .expect("entry symbol present");
+        self.node = dest;
+        self.entry = Some(LocalPort(entry_local as u32));
+        self.shared.metrics[self.id]
+            .moves
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn wait_until(
+        &mut self,
+        pred: impl Fn(&Whiteboard) -> bool,
+    ) -> Result<(), Interrupt> {
+        let cell = &self.shared.boards[self.node];
+        let mut board = cell.board.lock();
+        loop {
+            if let Some(i) = self.shared.interrupt_reason() {
+                return Err(i);
+            }
+            if pred(&board) {
+                self.shared.metrics[self.id]
+                    .waits
+                    .fetch_add(1, Ordering::Relaxed);
+                self.shared.metrics[self.id]
+                    .accesses
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            // Timed wait so interrupts are noticed even without traffic.
+            cell.changed
+                .wait_for(&mut board, Duration::from_millis(5));
+        }
+    }
+
+    fn checkpoint(&mut self, label: &str) {
+        let (moves, accesses, _) = self.shared.metrics[self.id].snapshot();
+        self.shared.checkpoints.lock().push(Checkpoint {
+            label: label.to_string(),
+            agent: self.id,
+            moves,
+            accesses,
+        });
+    }
+}
+
+/// A boxed agent program for the free-running engine.
+pub type FreeAgent = Box<dyn FnOnce(&mut FreeCtx) -> Result<AgentOutcome, Interrupt> + Send>;
+
+/// Execute a protocol with genuine parallelism. See [`crate::gated::run_gated`]
+/// for the placement/color conventions (identical).
+pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
+    let r = agents.len();
+    assert_eq!(r, bc.r(), "one agent program per home-base");
+    let mut registry = ColorRegistry::new(cfg.seed);
+    let colors = registry.fresh_many(r);
+
+    let shared = Arc::new(FreeShared {
+        graph: bc.graph().clone(),
+        boards: (0..bc.n())
+            .map(|_| BoardCell { board: Mutex::new(Whiteboard::new()), changed: Condvar::new() })
+            .collect(),
+        metrics: (0..r).map(|_| AgentMetrics::default()).collect(),
+        checkpoints: Mutex::new(Vec::new()),
+        ops: AtomicU64::new(0),
+        interrupt: AtomicU8::new(INT_NONE),
+        max_ops: cfg.max_ops,
+        port_seed: cfg.seed.wrapping_add(0x9047_5EED),
+        scramble_ports: cfg.scramble_ports,
+    });
+    for (i, &hb) in bc.homebases().iter().enumerate() {
+        shared.boards[hb]
+            .board
+            .lock()
+            .post(Sign::tag(colors[i], SignKind::HomeBase));
+    }
+
+    let outcomes: Mutex<Vec<AgentOutcome>> =
+        Mutex::new(vec![AgentOutcome::Interrupted(Interrupt::Cancelled); r]);
+    let done = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (i, program) in agents.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let outcomes = &outcomes;
+            let done = &done;
+            let color = colors[i];
+            let hb = bc.homebases()[i];
+            scope.spawn(move || {
+                let mut ctx = FreeCtx { shared, id: i, color, node: hb, entry: None };
+                let outcome = match program(&mut ctx) {
+                    Ok(o) => o,
+                    Err(int) => AgentOutcome::Interrupted(int),
+                };
+                outcomes.lock()[i] = outcome;
+                done.fetch_add(1, Ordering::Release);
+            });
+        }
+        // Watchdog.
+        let shared_w = Arc::clone(&shared);
+        let done_ref = &done;
+        let deadline = std::time::Instant::now() + cfg.timeout;
+        scope.spawn(move || {
+            while done_ref.load(Ordering::Acquire) < r as u64 {
+                if std::time::Instant::now() > deadline {
+                    shared_w.interrupt.store(INT_CANCELLED, Ordering::Release);
+                    shared_w.wake_all();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+    });
+
+    let outcomes = outcomes.into_inner();
+    let leader = {
+        let leaders: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == AgentOutcome::Leader)
+            .map(|(i, _)| i)
+            .collect();
+        if leaders.len() == 1 {
+            Some(leaders[0])
+        } else {
+            None
+        }
+    };
+    let interrupted = shared.interrupt_reason();
+    let metrics = Metrics {
+        per_agent: shared.metrics.iter().map(|m| m.snapshot()).collect(),
+        checkpoints: shared.checkpoints.lock().clone(),
+        steps: shared.ops.load(Ordering::Relaxed),
+    };
+    RunReport {
+        outcomes,
+        leader,
+        colors,
+        metrics,
+        interrupted,
+        policy: "free-running",
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::families;
+
+    fn instance(n: usize, hbs: &[usize]) -> Bicolored {
+        Bicolored::new(families::cycle(n).unwrap(), hbs).unwrap()
+    }
+
+    #[test]
+    fn parallel_race_has_one_winner() {
+        // All agents walk to the unique unmarked node and race to acquire
+        // it; mutual exclusion must yield exactly one winner regardless
+        // of true parallelism.
+        let bc = instance(3, &[0, 1]);
+        let mk = || -> FreeAgent {
+            Box::new(|ctx: &mut FreeCtx| {
+                for _ in 0..3 {
+                    let board = ctx.read_board()?;
+                    if !board.iter().any(|s| s.kind == SignKind::HomeBase) {
+                        break;
+                    }
+                    let entry = ctx.entry();
+                    let fwd = ctx
+                        .ports()
+                        .into_iter()
+                        .find(|&p| Some(p) != entry)
+                        .expect("degree 2");
+                    ctx.move_via(fwd)?;
+                }
+                let me = ctx.color();
+                let won = ctx.with_board(move |wb| {
+                    if wb.find_kind(SignKind::Acquired).is_none() {
+                        wb.post(Sign::tag(me, SignKind::Acquired));
+                        true
+                    } else {
+                        false
+                    }
+                })?;
+                Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+            })
+        };
+        for seed in 0..8 {
+            let cfg = FreeRunConfig { seed, ..FreeRunConfig::default() };
+            let report = run_free(&bc, cfg, vec![mk(), mk()]);
+            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+        }
+    }
+
+    #[test]
+    fn condvar_wait_wakes() {
+        let bc = instance(3, &[0, 1]);
+        let waiter: FreeAgent = Box::new(|ctx: &mut FreeCtx| {
+            ctx.wait_until(|wb| wb.find_kind(SignKind::Custom(9)).is_some())?;
+            Ok(AgentOutcome::Defeated)
+        });
+        let poster: FreeAgent = Box::new(|ctx: &mut FreeCtx| {
+            // Walk around the cycle to the other agent's home-base and
+            // post there.
+            loop {
+                let board = ctx.read_board()?;
+                let me = ctx.color();
+                if board
+                    .iter()
+                    .any(|s| s.kind == SignKind::HomeBase && s.color != me)
+                {
+                    ctx.with_board(move |wb| wb.post(Sign::tag(me, SignKind::Custom(9))))?;
+                    return Ok(AgentOutcome::Leader);
+                }
+                let entry = ctx.entry();
+                let fwd = ctx
+                    .ports()
+                    .into_iter()
+                    .find(|&p| Some(p) != entry)
+                    .expect("degree 2");
+                ctx.move_via(fwd)?;
+            }
+        });
+        let report = run_free(&bc, FreeRunConfig::default(), vec![waiter, poster]);
+        assert!(report.clean_election(), "{:?}", report.outcomes);
+    }
+
+    #[test]
+    fn watchdog_cancels_stuck_run() {
+        let bc = instance(3, &[0]);
+        let stuck: FreeAgent = Box::new(|ctx: &mut FreeCtx| {
+            ctx.wait_until(|wb| wb.find_kind(SignKind::Leader).is_some())?;
+            Ok(AgentOutcome::Leader)
+        });
+        let cfg = FreeRunConfig {
+            timeout: Duration::from_millis(50),
+            ..FreeRunConfig::default()
+        };
+        let report = run_free(&bc, cfg, vec![stuck]);
+        assert_eq!(report.interrupted, Some(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn op_budget_stops_livelock() {
+        let bc = instance(4, &[0]);
+        let spinner: FreeAgent = Box::new(|ctx: &mut FreeCtx| loop {
+            ctx.move_via(LocalPort(0))?;
+        });
+        let cfg = FreeRunConfig { max_ops: 500, ..FreeRunConfig::default() };
+        let report = run_free(&bc, cfg, vec![spinner]);
+        assert_eq!(report.interrupted, Some(Interrupt::StepLimit));
+    }
+
+    #[test]
+    fn many_agents_count_work() {
+        let n = 8;
+        let hbs: Vec<usize> = (0..n).collect();
+        let bc = instance(n, &hbs);
+        let agents: Vec<FreeAgent> = (0..n)
+            .map(|_| -> FreeAgent {
+                Box::new(|ctx: &mut FreeCtx| {
+                    for _ in 0..10 {
+                        ctx.move_via(LocalPort(0))?;
+                        ctx.with_board(|_wb| ())?;
+                    }
+                    Ok(AgentOutcome::Defeated)
+                })
+            })
+            .collect();
+        let report = run_free(&bc, FreeRunConfig::default(), agents);
+        assert_eq!(report.metrics.total_moves(), (n * 10) as u64);
+        assert!(report.metrics.total_accesses() >= (n * 10) as u64);
+    }
+}

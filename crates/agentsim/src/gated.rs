@@ -1,0 +1,781 @@
+//! The deterministic, scheduler-gated execution engine.
+//!
+//! Agents run as real OS threads, but every primitive operation (move,
+//! whiteboard access, wait) passes through a gate: the agent announces
+//! the operation and blocks until the scheduler grants it. The scheduler
+//! only proceeds once *every* live agent is parked at a gate, so exactly
+//! one agent is active at any instant and the whole run is a
+//! deterministic function of `(instance, protocol, policy, seed)` —
+//! which is what lets the experiment suite treat the scheduler as the
+//! paper's asynchrony adversary and replay counterexamples.
+//!
+//! The engine detects **deadlocks** (all live agents waiting on unchanged
+//! whiteboards) and enforces a **step budget** (the livelock detector
+//! used by the impossibility demonstrations), interrupting every agent
+//! with an explicit [`Interrupt`].
+
+use crate::color::{Color, ColorRegistry};
+use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
+use crate::metrics::{AgentMetrics, Checkpoint, Metrics};
+use crate::sched::Policy;
+use crate::sign::{Sign, SignKind};
+use crate::whiteboard::Whiteboard;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use qelect_graph::{Bicolored, Graph, Port};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Configuration of a gated run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Master seed: colors, port scrambles, and the random policy derive
+    /// from it.
+    pub seed: u64,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Global step budget (scheduler grants). Exhaustion interrupts all
+    /// agents with [`Interrupt::StepLimit`].
+    pub max_steps: u64,
+    /// Whether each agent sees its own scrambled local port numbering
+    /// (the qualitative model's "private encodings"; disable only for
+    /// debugging).
+    pub scramble_ports: bool,
+    /// Record the grant sequence (which agent ran at each scheduler
+    /// step) into [`RunReport::trace`] — the replayable witness of a
+    /// deterministic execution.
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0,
+            policy: Policy::Random,
+            max_steps: 5_000_000,
+            scramble_ports: true,
+            record_trace: false,
+        }
+    }
+}
+
+/// Result of a gated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Terminal state per agent (indexed like the home-base list).
+    pub outcomes: Vec<AgentOutcome>,
+    /// Index of the (unique) leader, if exactly one agent won.
+    pub leader: Option<usize>,
+    /// Colors the agents carried (for validating announcements).
+    pub colors: Vec<Color>,
+    /// Metrics.
+    pub metrics: Metrics,
+    /// The interrupt that ended the run, if any.
+    pub interrupted: Option<Interrupt>,
+    /// The scheduler policy name.
+    pub policy: &'static str,
+    /// The grant sequence (agent index per scheduler step), recorded
+    /// only when [`RunConfig::record_trace`] is set. Two runs with the
+    /// same `(instance, protocol, policy, seed)` produce identical
+    /// traces — the engine's determinism contract.
+    pub trace: Vec<usize>,
+}
+
+impl RunReport {
+    /// Whether the run elected exactly one leader and every other agent
+    /// was defeated.
+    pub fn clean_election(&self) -> bool {
+        let leaders = self
+            .outcomes
+            .iter()
+            .filter(|o| **o == AgentOutcome::Leader)
+            .count();
+        leaders == 1
+            && self
+                .outcomes
+                .iter()
+                .all(|o| matches!(o, AgentOutcome::Leader | AgentOutcome::Defeated))
+    }
+
+    /// Whether every agent unanimously reported the instance unsolvable.
+    pub fn unanimous_unsolvable(&self) -> bool {
+        self.outcomes.iter().all(|o| *o == AgentOutcome::Unsolvable)
+    }
+}
+
+struct Shared {
+    graph: Graph,
+    boards: Vec<Mutex<Whiteboard>>,
+    metrics: Vec<AgentMetrics>,
+    checkpoints: Mutex<Vec<Checkpoint>>,
+    port_seed: u64,
+    scramble_ports: bool,
+}
+
+impl Shared {
+    /// The agent-specific local-port → symbol mapping at a node.
+    fn port_map(&self, agent: usize, node: usize) -> Vec<Port> {
+        let syms: Vec<Port> = self.graph.ports_at(node);
+        if self.scramble_ports {
+            crate::shuffle::scrambled_ports(self.port_seed, agent, node, syms)
+        } else {
+            syms
+        }
+    }
+}
+
+enum Msg {
+    /// Agent requests to perform one primitive.
+    Op { agent: usize },
+    /// Agent waits for the board at `node` to move past `seen`.
+    Wait { agent: usize, node: usize, seen: Option<u64> },
+    /// Agent finished.
+    Finished { agent: usize, outcome: AgentOutcome },
+}
+
+enum Grant {
+    Go,
+    Abort(Interrupt),
+}
+
+/// The concrete [`MobileCtx`] of the gated engine.
+pub struct GatedCtx {
+    shared: Arc<Shared>,
+    id: usize,
+    color: Color,
+    node: usize,
+    entry: Option<LocalPort>,
+    req_tx: Sender<Msg>,
+    grant_rx: Receiver<Grant>,
+}
+
+impl GatedCtx {
+    fn gate_op(&mut self) -> Result<(), Interrupt> {
+        self.req_tx
+            .send(Msg::Op { agent: self.id })
+            .map_err(|_| Interrupt::Cancelled)?;
+        match self.grant_rx.recv() {
+            Ok(Grant::Go) => Ok(()),
+            Ok(Grant::Abort(i)) => Err(i),
+            Err(_) => Err(Interrupt::Cancelled),
+        }
+    }
+
+    fn count_access(&self) {
+        self.shared.metrics[self.id]
+            .accesses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl MobileCtx for GatedCtx {
+    fn color(&self) -> Color {
+        self.color
+    }
+
+    fn degree(&mut self) -> usize {
+        self.shared.graph.degree(self.node)
+    }
+
+    fn entry(&self) -> Option<LocalPort> {
+        self.entry
+    }
+
+    fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt> {
+        self.gate_op()?;
+        self.count_access();
+        let board = self.shared.boards[self.node].lock();
+        Ok(board.signs().to_vec())
+    }
+
+    fn with_board<R>(
+        &mut self,
+        f: impl FnOnce(&mut Whiteboard) -> R,
+    ) -> Result<R, Interrupt> {
+        self.gate_op()?;
+        self.count_access();
+        let mut board = self.shared.boards[self.node].lock();
+        Ok(f(&mut board))
+    }
+
+    fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt> {
+        self.gate_op()?;
+        let map = self.shared.port_map(self.id, self.node);
+        let sym = *map
+            .get(port.0 as usize)
+            .unwrap_or_else(|| panic!("agent {} used invalid local port {port}", self.id));
+        let (dest, entry_sym) = self
+            .shared
+            .graph
+            .move_along(self.node, sym)
+            .expect("port map is consistent with the graph");
+        // Translate the arrival symbol into the agent's local numbering
+        // at the destination.
+        let dest_map = self.shared.port_map(self.id, dest);
+        let entry_local = dest_map
+            .iter()
+            .position(|&p| p == entry_sym)
+            .expect("entry symbol present at destination");
+        self.node = dest;
+        self.entry = Some(LocalPort(entry_local as u32));
+        self.shared.metrics[self.id]
+            .moves
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn wait_until(
+        &mut self,
+        pred: impl Fn(&Whiteboard) -> bool,
+    ) -> Result<(), Interrupt> {
+        let mut seen: Option<u64> = None;
+        loop {
+            self.req_tx
+                .send(Msg::Wait { agent: self.id, node: self.node, seen })
+                .map_err(|_| Interrupt::Cancelled)?;
+            match self.grant_rx.recv() {
+                Ok(Grant::Go) => {
+                    self.count_access();
+                    let board = self.shared.boards[self.node].lock();
+                    if pred(&board) {
+                        self.shared.metrics[self.id]
+                            .waits
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    seen = Some(board.version());
+                }
+                Ok(Grant::Abort(i)) => return Err(i),
+                Err(_) => return Err(Interrupt::Cancelled),
+            }
+        }
+    }
+
+    fn checkpoint(&mut self, label: &str) {
+        let (moves, accesses, _) = self.shared.metrics[self.id].snapshot();
+        self.shared.checkpoints.lock().push(Checkpoint {
+            label: label.to_string(),
+            agent: self.id,
+            moves,
+            accesses,
+        });
+    }
+}
+
+/// A boxed agent program for the gated engine.
+pub type GatedAgent = Box<dyn FnOnce(&mut GatedCtx) -> Result<AgentOutcome, Interrupt> + Send>;
+
+/// Run with the paper's wake-up semantics: only the agents listed in
+/// `awake` start spontaneously; every other agent sleeps at its
+/// home-base until some other agent writes on its whiteboard ("during
+/// its traversal, if an agent meets a sleeping agent, then it wakes up
+/// this agent" — a MAP-DRAWING `Visited` mark does exactly that).
+///
+/// `awake` must be non-empty (someone has to start).
+pub fn run_gated_staggered(
+    bc: &Bicolored,
+    cfg: RunConfig,
+    agents: Vec<GatedAgent>,
+    awake: &[usize],
+) -> RunReport {
+    assert!(!awake.is_empty(), "at least one agent must wake spontaneously");
+    let awake: Vec<usize> = awake.to_vec();
+    let wrapped: Vec<GatedAgent> = agents
+        .into_iter()
+        .enumerate()
+        .map(|(i, program)| -> GatedAgent {
+            if awake.contains(&i) {
+                program
+            } else {
+                Box::new(move |ctx: &mut GatedCtx| {
+                    // Sleep until anything beyond the pre-placed signs
+                    // appears on my home whiteboard.
+                    ctx.wait_until(|wb| {
+                        wb.signs().iter().any(|s| s.kind != SignKind::HomeBase)
+                    })?;
+                    program(ctx)
+                })
+            }
+        })
+        .collect();
+    run_gated(bc, cfg, wrapped)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum St {
+    /// Thinking (not at a gate yet).
+    Running,
+    /// Parked at an op gate.
+    ReadyOp,
+    /// Parked waiting for a board change.
+    Waiting { node: usize, seen: Option<u64> },
+    /// Finished.
+    Done,
+}
+
+/// Execute a protocol on an instance: one agent per home-base (agent `i`
+/// starts at the `i`-th home-base in sorted order, carrying a fresh
+/// color). Home-bases are pre-marked with a [`SignKind::HomeBase`] sign
+/// of the resident's color, as the model prescribes.
+pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+    let r = agents.len();
+    assert_eq!(
+        r,
+        bc.r(),
+        "one agent program per home-base ({} programs, {} home-bases)",
+        r,
+        bc.r()
+    );
+    let mut registry = ColorRegistry::new(cfg.seed);
+    let colors = registry.fresh_many(r);
+
+    let shared = Arc::new(Shared {
+        graph: bc.graph().clone(),
+        boards: (0..bc.n()).map(|_| Mutex::new(Whiteboard::new())).collect(),
+        metrics: (0..r).map(|_| AgentMetrics::default()).collect(),
+        checkpoints: Mutex::new(Vec::new()),
+        port_seed: cfg.seed.wrapping_add(0x9047_5EED),
+        scramble_ports: cfg.scramble_ports,
+    });
+    // Pre-mark home-bases.
+    for (i, &hb) in bc.homebases().iter().enumerate() {
+        shared.boards[hb].lock().post(Sign::tag(colors[i], SignKind::HomeBase));
+    }
+
+    let (req_tx, req_rx) = unbounded::<Msg>();
+    let mut grant_txs: Vec<Sender<Grant>> = Vec::with_capacity(r);
+    let mut outcomes: Vec<AgentOutcome> = vec![AgentOutcome::Interrupted(Interrupt::Cancelled); r];
+    let mut scheduler = cfg.policy.build(cfg.seed);
+    let mut steps: u64 = 0;
+    let mut interrupted: Option<Interrupt> = None;
+    let mut trace: Vec<usize> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(r);
+        for (i, program) in agents.into_iter().enumerate() {
+            let (gtx, grx) = unbounded::<Grant>();
+            grant_txs.push(gtx);
+            let mut ctx = GatedCtx {
+                shared: Arc::clone(&shared),
+                id: i,
+                color: colors[i],
+                node: bc.homebases()[i],
+                entry: None,
+                req_tx: req_tx.clone(),
+                grant_rx: grx,
+            };
+            let tx = req_tx.clone();
+            handles.push(scope.spawn(move || {
+                let outcome = match program(&mut ctx) {
+                    Ok(o) => o,
+                    Err(i) => AgentOutcome::Interrupted(i),
+                };
+                let _ = tx.send(Msg::Finished { agent: ctx.id, outcome });
+            }));
+        }
+        drop(req_tx);
+
+        // ---- scheduler loop ----
+        let mut st: Vec<St> = vec![St::Running; r];
+        let mut live = r;
+        let mut aborting: Option<Interrupt> = None;
+
+        let apply = |msg: Msg,
+                     st: &mut Vec<St>,
+                     outcomes: &mut Vec<AgentOutcome>,
+                     live: &mut usize| {
+            match msg {
+                Msg::Op { agent } => st[agent] = St::ReadyOp,
+                Msg::Wait { agent, node, seen } => st[agent] = St::Waiting { node, seen },
+                Msg::Finished { agent, outcome } => {
+                    st[agent] = St::Done;
+                    outcomes[agent] = outcome;
+                    *live -= 1;
+                }
+            }
+        };
+
+        while live > 0 {
+            // Ensure every live agent is parked (or done).
+            while st.iter().any(|s| *s == St::Running) {
+                let msg = req_rx.recv().expect("agents alive");
+                apply(msg, &mut st, &mut outcomes, &mut live);
+            }
+            if live == 0 {
+                break;
+            }
+
+            // If we are aborting, answer every parked agent with Abort.
+            if let Some(reason) = &aborting {
+                for (i, s) in st.iter_mut().enumerate() {
+                    match s {
+                        St::ReadyOp | St::Waiting { .. } => {
+                            *s = St::Running;
+                            let _ = grant_txs[i].send(Grant::Abort(reason.clone()));
+                        }
+                        _ => {}
+                    }
+                }
+                continue;
+            }
+
+            // Ready set: ops, plus waits whose board has changed.
+            let ready: Vec<usize> = (0..r)
+                .filter(|&i| match &st[i] {
+                    St::ReadyOp => true,
+                    St::Waiting { node, seen } => match seen {
+                        None => true,
+                        Some(v) => shared.boards[*node].lock().version() > *v,
+                    },
+                    _ => false,
+                })
+                .collect();
+
+            if ready.is_empty() {
+                // All live agents are waiting on unchanged boards.
+                aborting = Some(Interrupt::Deadlock);
+                interrupted = Some(Interrupt::Deadlock);
+                continue;
+            }
+
+            steps += 1;
+            if steps > cfg.max_steps {
+                aborting = Some(Interrupt::StepLimit);
+                interrupted = Some(Interrupt::StepLimit);
+                continue;
+            }
+
+            let pick = scheduler.pick(&ready, steps);
+            debug_assert!(ready.contains(&pick), "scheduler must pick a ready agent");
+            if cfg.record_trace {
+                trace.push(pick);
+            }
+            st[pick] = St::Running;
+            grant_txs[pick]
+                .send(Grant::Go)
+                .expect("granted agent is alive");
+            // Block until the granted agent parks again or finishes —
+            // everyone else is already parked, so the next message is its.
+            let msg = req_rx.recv().expect("granted agent will report");
+            apply(msg, &mut st, &mut outcomes, &mut live);
+        }
+
+        for h in handles {
+            h.join().expect("agent thread must not panic");
+        }
+    });
+
+    let leader = {
+        let leaders: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == AgentOutcome::Leader)
+            .map(|(i, _)| i)
+            .collect();
+        if leaders.len() == 1 {
+            Some(leaders[0])
+        } else {
+            None
+        }
+    };
+
+    let metrics = Metrics {
+        per_agent: shared.metrics.iter().map(|m| m.snapshot()).collect(),
+        checkpoints: shared.checkpoints.lock().clone(),
+        steps,
+    };
+
+    RunReport {
+        outcomes,
+        leader,
+        colors,
+        metrics,
+        interrupted,
+        policy: cfg.policy.build(0).name(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::families;
+
+    fn instance(n: usize, hbs: &[usize]) -> Bicolored {
+        Bicolored::new(families::cycle(n).unwrap(), hbs).unwrap()
+    }
+
+    #[test]
+    fn single_agent_trivial_protocol() {
+        let bc = instance(5, &[2]);
+        let report = run_gated(
+            &bc,
+            RunConfig::default(),
+            vec![Box::new(|_ctx: &mut GatedCtx| Ok(AgentOutcome::Leader))],
+        );
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+        assert_eq!(report.leader, Some(0));
+        assert!(report.clean_election());
+    }
+
+    #[test]
+    fn homebase_signs_are_premarked() {
+        let bc = instance(5, &[0, 2]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                let board = ctx.read_board()?;
+                let mine = board
+                    .iter()
+                    .any(|s| s.kind == SignKind::HomeBase && s.color == ctx.color());
+                Ok(if mine { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+            })
+        };
+        let report = run_gated(&bc, RunConfig::default(), vec![mk(), mk()]);
+        // Both see their own home-base sign → both claim Leader.
+        assert_eq!(
+            report.outcomes,
+            vec![AgentOutcome::Leader, AgentOutcome::Leader]
+        );
+        assert_eq!(report.leader, None, "two leaders is not a clean election");
+    }
+
+    #[test]
+    fn moves_are_counted_and_entry_ports_work() {
+        let bc = instance(6, &[0]);
+        let report = run_gated(
+            &bc,
+            RunConfig::default(),
+            vec![Box::new(|ctx: &mut GatedCtx| {
+                assert_eq!(ctx.entry(), None);
+                assert_eq!(ctx.degree(), 2);
+                // Walk through local port 0 and immediately return through
+                // the entry port: we must be back at the home-base (its
+                // HomeBase sign of our color proves it).
+                ctx.move_via(LocalPort(0))?;
+                let back = ctx.entry().expect("entry set after move");
+                ctx.move_via(back)?;
+                let board = ctx.read_board()?;
+                let home = board
+                    .iter()
+                    .any(|s| s.kind == SignKind::HomeBase && s.color == ctx.color());
+                Ok(if home { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+            })],
+        );
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+        assert_eq!(report.metrics.total_moves(), 2);
+        assert_eq!(report.metrics.total_accesses(), 1);
+    }
+
+    #[test]
+    fn with_board_is_atomic_arbitration() {
+        // Two agents race to write the first Custom(1) sign at their own
+        // home-base... they need a common node: use K2's two ends — walk
+        // to the neighbor for one of them. Simpler: both walk to node 1
+        // of a path? Use cycle of 3, agents at 0 and 1, both write at
+        // their current node after moving to a common neighbor is fiddly;
+        // instead both agents race on their OWN boards — no race. The
+        // real arbitration test: both move to the shared neighbor 2 on
+        // C3? On C3 agents at 0 and 1 share neighbor 2.
+        let bc = instance(3, &[0, 1]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                // Walk around the cycle (never back through the entry
+                // port) to the node that has no HomeBase sign: node 2.
+                for _ in 0..3 {
+                    let board = ctx.read_board()?;
+                    if !board.iter().any(|s| s.kind == SignKind::HomeBase) {
+                        break;
+                    }
+                    let entry = ctx.entry();
+                    let fwd = ctx
+                        .ports()
+                        .into_iter()
+                        .find(|&p| Some(p) != entry)
+                        .expect("degree 2");
+                    ctx.move_via(fwd)?;
+                }
+                let won = ctx.with_board(|wb| {
+                    if wb.find_kind(SignKind::Custom(1)).is_none() {
+                        wb.post(Sign::tag(Color::from_nonce(0), SignKind::Custom(1)));
+                        true
+                    } else {
+                        false
+                    }
+                })?;
+                Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+            })
+        };
+        for seed in 0..5 {
+            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let report = run_gated(&bc, cfg, vec![mk(), mk()]);
+            // Whatever the schedule, exactly one agent wins... if both
+            // reached node 2. An agent circling C3 may need up to 3 hops;
+            // the loop above guarantees arrival. So: exactly one Leader.
+            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let bc = instance(4, &[0, 2]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                // Wait for a sign that nobody will ever write.
+                ctx.wait_until(|wb| wb.find_kind(SignKind::Leader).is_some())?;
+                Ok(AgentOutcome::Leader)
+            })
+        };
+        let report = run_gated(&bc, RunConfig::default(), vec![mk(), mk()]);
+        assert_eq!(report.interrupted, Some(Interrupt::Deadlock));
+        assert!(report
+            .outcomes
+            .iter()
+            .all(|o| *o == AgentOutcome::Interrupted(Interrupt::Deadlock)));
+    }
+
+    #[test]
+    fn step_limit_interrupts_livelock() {
+        let bc = instance(4, &[0]);
+        let report = run_gated(
+            &bc,
+            RunConfig { max_steps: 100, ..RunConfig::default() },
+            vec![Box::new(|ctx: &mut GatedCtx| {
+                loop {
+                    ctx.move_via(LocalPort(0))?;
+                }
+            })],
+        );
+        assert_eq!(report.interrupted, Some(Interrupt::StepLimit));
+    }
+
+    #[test]
+    fn wait_wakes_on_board_change() {
+        let bc = instance(3, &[0, 1]);
+        let waiter: GatedAgent = Box::new(|ctx: &mut GatedCtx| {
+            ctx.wait_until(|wb| wb.find_kind(SignKind::Custom(7)).is_some())?;
+            Ok(AgentOutcome::Defeated)
+        });
+        let walker: GatedAgent = Box::new(|ctx: &mut GatedCtx| {
+            // Walk around the cycle until finding the other agent's
+            // home-base (a HomeBase sign of a different color), then post
+            // Custom(7).
+            loop {
+                let board = ctx.read_board()?;
+                let other_home = board
+                    .iter()
+                    .any(|s| s.kind == SignKind::HomeBase && s.color != ctx.color());
+                if other_home {
+                    ctx.with_board(|wb| {
+                        wb.post(Sign::tag(Color::from_nonce(1), SignKind::Custom(7)))
+                    })?;
+                    return Ok(AgentOutcome::Leader);
+                }
+                let entry = ctx.entry();
+                let fwd = ctx
+                    .ports()
+                    .into_iter()
+                    .find(|&p| Some(p) != entry)
+                    .expect("degree 2");
+                ctx.move_via(fwd)?;
+            }
+        });
+        // Agent 0 (at node 0) waits; agent 1 (at node 1) walks & posts.
+        let report = run_gated(&bc, RunConfig::default(), vec![waiter, walker]);
+        assert!(report.clean_election());
+        assert!(report.metrics.total_waits() >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_policy() {
+        let bc = instance(6, &[0, 3]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                for _ in 0..10 {
+                    ctx.move_via(LocalPort(0))?;
+                    ctx.with_board(|wb| {
+                        let c = Color::from_nonce(0);
+                        wb.post(Sign::tag(c, SignKind::Visited));
+                    })?;
+                }
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let run = |seed| {
+            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let rep = run_gated(&bc, cfg, vec![mk(), mk()]);
+            (rep.metrics.per_agent.clone(), rep.metrics.steps)
+        };
+        assert_eq!(run(11), run(11));
+        // Different seeds may differ in step interleaving but totals of
+        // this fixed-work protocol are stable:
+        let (a, _) = run(11);
+        let (b, _) = run(12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scrambled_ports_differ_between_agents_but_are_stable() {
+        let bc = instance(6, &[0, 3]);
+        let shared = Shared {
+            graph: bc.graph().clone(),
+            boards: Vec::new(),
+            metrics: Vec::new(),
+            checkpoints: Mutex::new(Vec::new()),
+            port_seed: 99,
+            scramble_ports: true,
+        };
+        let m0 = shared.port_map(0, 2);
+        let m0_again = shared.port_map(0, 2);
+        assert_eq!(m0, m0_again, "stable per (agent, node)");
+        // Across many nodes, the two agents' scrambles must differ
+        // somewhere (overwhelmingly likely with 6 binary choices).
+        let differs = (0..6).any(|v| shared.port_map(0, v) != shared.port_map(1, v));
+        assert!(differs);
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_replayable() {
+        let bc = instance(6, &[0, 3]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                for _ in 0..12 {
+                    ctx.move_via(LocalPort(0))?;
+                    ctx.with_board(|wb| {
+                        wb.post(Sign::tag(Color::from_nonce(0), SignKind::Visited))
+                    })?;
+                }
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let run = |seed| {
+            let cfg = RunConfig { seed, record_trace: true, ..RunConfig::default() };
+            run_gated(&bc, cfg, vec![mk(), mk()]).trace
+        };
+        let t1 = run(5);
+        let t2 = run(5);
+        assert!(!t1.is_empty());
+        assert_eq!(t1, t2, "same seed ⇒ identical grant sequence");
+        let t3 = run(6);
+        assert_ne!(t1, t3, "different seed ⇒ different interleaving (whp)");
+        // Tracing off ⇒ empty trace.
+        let cfg = RunConfig { seed: 5, ..RunConfig::default() };
+        assert!(run_gated(&bc, cfg, vec![mk(), mk()]).trace.is_empty());
+    }
+
+    #[test]
+    fn lockstep_policy_runs() {
+        let bc = instance(4, &[0, 2]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                for _ in 0..4 {
+                    ctx.move_via(LocalPort(0))?;
+                }
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+        let report = run_gated(&bc, cfg, vec![mk(), mk()]);
+        assert_eq!(report.metrics.total_moves(), 8);
+        assert!(report.interrupted.is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! # qelect-agentsim — the mobile-agent runtime
+//!
+//! The paper's computational model (Section 1.2): asynchronous mobile
+//! agents move along the labeled ports of an anonymous network and
+//! communicate *only* through **whiteboards** — one per node, accessed
+//! under fair mutual exclusion — by reading and writing **colored signs**.
+//! Each agent carries a distinct [`color::Color`], and colors (like port
+//! symbols) can be tested for equality but carry **no order**.
+//!
+//! This crate is the boundary where the qualitative model is enforced:
+//!
+//! * [`color::Color`] implements `Eq`/`Hash` but deliberately **not**
+//!   `Ord`; nonce randomization makes any accidental use of the bit
+//!   pattern unstable across runs.
+//! * Protocols see ports as per-agent [`ctx::LocalPort`] encodings — each
+//!   agent gets its own scrambled numbering of the ports at every node
+//!   ("relative or local comparable labels", as the paper's tourist in
+//!   Athens), so no protocol can rely on a globally agreed port order.
+//! * Every primitive operation (move, board access, wait) is gated by a
+//!   pluggable [`sched::Scheduler`], making asynchrony an explicit,
+//!   replayable adversary. The synchronous-lockstep scheduler of the
+//!   paper's Section 1.3 impossibility argument is provided.
+//!
+//! Two execution engines run the *same* protocol code (written against
+//! the [`ctx::MobileCtx`] trait):
+//!
+//! * [`gated`] — deterministic: agents live on OS threads but execute one
+//!   primitive at a time, in scheduler order; detects deadlocks and
+//!   enforces step budgets (so impossibility arguments terminate).
+//! * [`freerun`] — fully parallel: agents run concurrently with
+//!   `parking_lot` mutexes and condvars; used by the throughput
+//!   benchmarks.
+//!
+//! [`message_net`] implements the paper's Fig. 1 transformation: a
+//! mobile-agent protocol expressed as an explicit state machine
+//! ([`stepagent::StepAgent`]) is executed by an anonymous processor
+//! network in which *messages are agents*.
+//!
+//! ```
+//! use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+//! use qelect_agentsim::AgentOutcome;
+//! use qelect_graph::{families, Bicolored};
+//!
+//! // A one-agent protocol: read the home whiteboard, claim leadership.
+//! let bc = Bicolored::new(families::cycle(5).unwrap(), &[2]).unwrap();
+//! let agent: GatedAgent = Box::new(|ctx| {
+//!     use qelect_agentsim::MobileCtx;
+//!     let board = ctx.read_board()?;
+//!     assert!(!board.is_empty()); // the pre-placed HomeBase sign
+//!     Ok(AgentOutcome::Leader)
+//! });
+//! let report = run_gated(&bc, RunConfig::default(), vec![agent]);
+//! assert_eq!(report.leader, Some(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod ctx;
+pub mod freerun;
+pub mod gated;
+pub mod message_net;
+pub mod metrics;
+pub mod sched;
+pub mod shuffle;
+pub mod sign;
+pub mod stepagent;
+pub mod whiteboard;
+
+pub use color::{Color, ColorRegistry};
+pub use ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
+pub use gated::{run_gated, GatedCtx, RunConfig, RunReport};
+pub use metrics::{AgentMetrics, Metrics};
+pub use sched::{LockstepScheduler, RandomScheduler, RoundRobinScheduler, Scheduler};
+pub use sign::{Sign, SignKind};
+pub use whiteboard::Whiteboard;

@@ -1,0 +1,334 @@
+//! The Fig. 1 transformation: mobile agents → processor network.
+//!
+//! The paper proves (inside Theorem 2.1) that any mobile-agent protocol
+//! on an anonymous network `G` transforms into a distributed protocol
+//! for the anonymous *processor* network `G`: the memory of a processor
+//! is its whiteboard; **a message is an agent** `(P, M)`; a processor
+//! receiving a message executes the agent's program against its local
+//! whiteboard and, if the execution leads to a move through the edge
+//! labeled `i`, forwards `(P, M')` through that edge.
+//!
+//! [`MessageNet`] is that processor network, executed as a sequential
+//! discrete-event simulation with a seeded adversarial event order
+//! (asynchronous message delivery). Agents are [`StepAgent`] values, so
+//! the *same machine* runs natively on the mobile runtime and here; the
+//! experiment suite checks the outcomes agree.
+
+use crate::color::{Color, ColorRegistry};
+use crate::ctx::{AgentOutcome, LocalPort};
+use crate::sign::{Sign, SignKind};
+use crate::stepagent::{StepAction, StepAgent, StepEnv};
+use crate::whiteboard::Whiteboard;
+use qelect_graph::{Bicolored, Port};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An in-flight or parked agent: "a message is of the form (P, M) where
+/// P is the program of the agent and M its memory content".
+struct Envelope {
+    id: usize,
+    agent: Box<dyn StepAgent>,
+    color: Color,
+    /// Destination (in-flight) or location (parked).
+    node: usize,
+    /// Entry port at `node` in the agent's local numbering.
+    entry: Option<LocalPort>,
+}
+
+/// Result of a message-net execution.
+#[derive(Debug, Clone)]
+pub struct NetReport {
+    /// Outcome per agent.
+    pub outcomes: Vec<AgentOutcome>,
+    /// The unique leader index, if exactly one.
+    pub leader: Option<usize>,
+    /// Colors carried by the agents.
+    pub colors: Vec<Color>,
+    /// Messages delivered (the transformation's cost unit).
+    pub deliveries: u64,
+    /// Whether the run ended in a deadlock (parked agents, no traffic).
+    pub deadlocked: bool,
+}
+
+impl NetReport {
+    /// One leader, everyone else defeated.
+    pub fn clean_election(&self) -> bool {
+        let leaders = self
+            .outcomes
+            .iter()
+            .filter(|o| **o == AgentOutcome::Leader)
+            .count();
+        leaders == 1
+            && self
+                .outcomes
+                .iter()
+                .all(|o| matches!(o, AgentOutcome::Leader | AgentOutcome::Defeated))
+    }
+}
+
+/// The anonymous processor network executing transformed agents.
+pub struct MessageNet {
+    bc: Bicolored,
+    seed: u64,
+    max_deliveries: u64,
+    scramble_ports: bool,
+    /// Extra signs to pre-post (e.g. quantitative ID signs).
+    premark: Vec<(usize, Sign)>,
+}
+
+impl MessageNet {
+    /// Build a network for an instance.
+    pub fn new(bc: Bicolored, seed: u64) -> MessageNet {
+        MessageNet {
+            bc,
+            seed,
+            max_deliveries: 10_000_000,
+            scramble_ports: true,
+            premark: Vec::new(),
+        }
+    }
+
+    /// Cap the number of deliveries (livelock guard).
+    pub fn with_max_deliveries(mut self, cap: u64) -> MessageNet {
+        self.max_deliveries = cap;
+        self
+    }
+
+    /// Add extra pre-posted signs.
+    pub fn with_premark(mut self, premark: Vec<(usize, Sign)>) -> MessageNet {
+        self.premark = premark;
+        self
+    }
+
+    /// Disable per-agent port scrambling (debugging).
+    pub fn with_plain_ports(mut self) -> MessageNet {
+        self.scramble_ports = false;
+        self
+    }
+
+    fn port_map(&self, agent: usize, node: usize) -> Vec<Port> {
+        let syms: Vec<Port> = self.bc.graph().ports_at(node);
+        if self.scramble_ports {
+            crate::shuffle::scrambled_ports(
+                self.seed.wrapping_add(0x9047_5EED),
+                agent,
+                node,
+                syms,
+            )
+        } else {
+            syms
+        }
+    }
+
+    /// Run agents (one per home-base) to completion.
+    pub fn run(&self, agents: Vec<Box<dyn StepAgent>>) -> NetReport {
+        let r = agents.len();
+        assert_eq!(r, self.bc.r(), "one agent per home-base");
+        let mut registry = ColorRegistry::new(self.seed);
+        let colors = registry.fresh_many(r);
+        let mut boards: Vec<Whiteboard> =
+            (0..self.bc.n()).map(|_| Whiteboard::new()).collect();
+        for (i, &hb) in self.bc.homebases().iter().enumerate() {
+            boards[hb].post(Sign::tag(colors[i], SignKind::HomeBase));
+        }
+        for (node, sign) in &self.premark {
+            boards[*node].post(sign.clone());
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x00DE11);
+        // "When an agent wakes up, the corresponding processor starts
+        // executing the program as if it had received a message."
+        let mut in_flight: Vec<Envelope> = agents
+            .into_iter()
+            .enumerate()
+            .map(|(i, agent)| Envelope {
+                id: i,
+                agent,
+                color: colors[i],
+                node: self.bc.homebases()[i],
+                entry: None,
+            })
+            .collect();
+        let mut parked: Vec<Envelope> = Vec::new();
+        let mut outcomes: Vec<Option<AgentOutcome>> = (0..r).map(|_| None).collect();
+        let mut deliveries: u64 = 0;
+        let mut deadlocked = false;
+
+        while !in_flight.is_empty() {
+            if deliveries >= self.max_deliveries {
+                deadlocked = true;
+                break;
+            }
+            // Adversarial asynchronous delivery: pick a random message.
+            let idx = rng.gen_range(0..in_flight.len());
+            let mut env = in_flight.swap_remove(idx);
+            deliveries += 1;
+
+            let node = env.node;
+            let before = boards[node].version();
+            let action = {
+                let degree = self.bc.graph().degree(node);
+                let mut step_env = StepEnv {
+                    color: env.color,
+                    degree,
+                    entry: env.entry,
+                    board: &mut boards[node],
+                };
+                env.agent.step(&mut step_env)
+            };
+            let changed = boards[node].version() != before;
+
+            match action {
+                StepAction::Move(p) => {
+                    let map = self.port_map(env.id, node);
+                    let sym = *map
+                        .get(p.0 as usize)
+                        .unwrap_or_else(|| panic!("agent {} invalid local port", env.id));
+                    let (dest, entry_sym) = self
+                        .bc
+                        .graph()
+                        .move_along(node, sym)
+                        .expect("consistent port map");
+                    let dest_map = self.port_map(env.id, dest);
+                    let entry_local = dest_map
+                        .iter()
+                        .position(|&q| q == entry_sym)
+                        .expect("entry symbol exists");
+                    env.node = dest;
+                    env.entry = Some(LocalPort(entry_local as u32));
+                    in_flight.push(env);
+                }
+                StepAction::Stay => parked.push(env),
+                StepAction::Finish(outcome) => outcomes[env.id] = Some(outcome),
+            }
+
+            // A processor that saw traffic re-activates its parked agents
+            // (their whiteboard may now satisfy what they wait for).
+            if changed {
+                let (woken, still): (Vec<Envelope>, Vec<Envelope>) =
+                    parked.drain(..).partition(|e| e.node == node);
+                parked = still;
+                in_flight.extend(woken);
+            }
+        }
+
+        if !parked.is_empty() && in_flight.is_empty() {
+            deadlocked = true;
+        }
+        let outcomes: Vec<AgentOutcome> = outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or(AgentOutcome::Interrupted(crate::ctx::Interrupt::Deadlock)))
+            .collect();
+        let leaders: Vec<usize> = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == AgentOutcome::Leader)
+            .map(|(i, _)| i)
+            .collect();
+        NetReport {
+            leader: if leaders.len() == 1 { Some(leaders[0]) } else { None },
+            outcomes,
+            colors,
+            deliveries,
+            deadlocked,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::families;
+
+    /// Race: walk around the cycle to the node with no HomeBase sign and
+    /// acquire it.
+    struct Racer {
+        hops: usize,
+    }
+    impl StepAgent for Racer {
+        fn step(&mut self, env: &mut StepEnv<'_>) -> StepAction {
+            let empty = env.board.find_kind(SignKind::HomeBase).is_none();
+            if empty || self.hops >= 3 {
+                return if env.board.find_kind(SignKind::Acquired).is_none() {
+                    let c = env.color;
+                    env.board.post(Sign::tag(c, SignKind::Acquired));
+                    StepAction::Finish(AgentOutcome::Leader)
+                } else {
+                    StepAction::Finish(AgentOutcome::Defeated)
+                };
+            }
+            self.hops += 1;
+            let fwd = (0..env.degree as u32)
+                .map(LocalPort)
+                .find(|&p| Some(p) != env.entry)
+                .expect("degree 2");
+            StepAction::Move(fwd)
+        }
+    }
+
+    #[test]
+    fn transformed_race_elects_one() {
+        let bc = Bicolored::new(families::cycle(3).unwrap(), &[0, 1]).unwrap();
+        for seed in 0..10 {
+            let net = MessageNet::new(bc.clone(), seed);
+            let report = net.run(vec![
+                Box::new(Racer { hops: 0 }),
+                Box::new(Racer { hops: 0 }),
+            ]);
+            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+            assert!(!report.deadlocked);
+        }
+    }
+
+    /// Stays forever (tests deadlock detection).
+    struct Paralyzed;
+    impl StepAgent for Paralyzed {
+        fn step(&mut self, _env: &mut StepEnv<'_>) -> StepAction {
+            StepAction::Stay
+        }
+    }
+
+    #[test]
+    fn all_parked_is_deadlock() {
+        let bc = Bicolored::new(families::cycle(3).unwrap(), &[0]).unwrap();
+        let net = MessageNet::new(bc, 1);
+        let report = net.run(vec![Box::new(Paralyzed)]);
+        assert!(report.deadlocked);
+    }
+
+    #[test]
+    fn delivery_cap_stops_livelock() {
+        struct Spinner;
+        impl StepAgent for Spinner {
+            fn step(&mut self, _env: &mut StepEnv<'_>) -> StepAction {
+                StepAction::Move(LocalPort(0))
+            }
+        }
+        let bc = Bicolored::new(families::cycle(3).unwrap(), &[0]).unwrap();
+        let net = MessageNet::new(bc, 1).with_max_deliveries(100);
+        let report = net.run(vec![Box::new(Spinner)]);
+        assert!(report.deadlocked);
+        assert_eq!(report.deliveries, 100);
+    }
+
+    #[test]
+    fn premarked_signs_visible() {
+        struct Checker;
+        impl StepAgent for Checker {
+            fn step(&mut self, env: &mut StepEnv<'_>) -> StepAction {
+                if env.board.find_kind(SignKind::Custom(42)).is_some() {
+                    StepAction::Finish(AgentOutcome::Leader)
+                } else {
+                    StepAction::Finish(AgentOutcome::Defeated)
+                }
+            }
+        }
+        let bc = Bicolored::new(families::cycle(3).unwrap(), &[0]).unwrap();
+        let mut reg = ColorRegistry::new(5);
+        let c = reg.fresh();
+        let net = MessageNet::new(bc, 1)
+            .with_premark(vec![(0, Sign::tag(c, SignKind::Custom(42)))]);
+        let report = net.run(vec![Box::new(Checker)]);
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Move and whiteboard-access accounting.
+//!
+//! Theorem 3.1 bounds protocol ELECT by **O(r·|E|) moves and whiteboard
+//! accesses**; the experiment suite measures both. Counters are atomics
+//! so the free-running engine can update them concurrently.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-agent counters.
+#[derive(Debug, Default)]
+pub struct AgentMetrics {
+    /// Edge traversals.
+    pub moves: AtomicU64,
+    /// Whiteboard accesses (reads and read-modify-writes).
+    pub accesses: AtomicU64,
+    /// Completed waits (wake-ups whose predicate held).
+    pub waits: AtomicU64,
+}
+
+impl AgentMetrics {
+    /// Snapshot as plain numbers.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.moves.load(Ordering::Relaxed),
+            self.accesses.load(Ordering::Relaxed),
+            self.waits.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Clone for AgentMetrics {
+    fn clone(&self) -> Self {
+        let (m, a, w) = self.snapshot();
+        AgentMetrics {
+            moves: AtomicU64::new(m),
+            accesses: AtomicU64::new(a),
+            waits: AtomicU64::new(w),
+        }
+    }
+}
+
+/// A labeled checkpoint: cumulative totals at a protocol-chosen moment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The label the protocol supplied (e.g. `"map-drawing done"`).
+    pub label: String,
+    /// The agent that recorded it.
+    pub agent: usize,
+    /// Cumulative moves of that agent at the moment of recording.
+    pub moves: u64,
+    /// Cumulative accesses of that agent at the moment of recording.
+    pub accesses: u64,
+}
+
+/// Whole-run metrics.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// One entry per agent.
+    pub per_agent: Vec<(u64, u64, u64)>,
+    /// Checkpoints in recording order.
+    pub checkpoints: Vec<Checkpoint>,
+    /// Scheduler grants issued (gated engine only).
+    pub steps: u64,
+}
+
+impl Metrics {
+    /// Total moves across agents.
+    pub fn total_moves(&self) -> u64 {
+        self.per_agent.iter().map(|&(m, _, _)| m).sum()
+    }
+
+    /// Total whiteboard accesses across agents.
+    pub fn total_accesses(&self) -> u64 {
+        self.per_agent.iter().map(|&(_, a, _)| a).sum()
+    }
+
+    /// Total completed waits across agents.
+    pub fn total_waits(&self) -> u64 {
+        self.per_agent.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// `moves + accesses` — the quantity Theorem 3.1 bounds by O(r·|E|).
+    pub fn total_work(&self) -> u64 {
+        self.total_moves() + self.total_accesses()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_per_agent() {
+        let m = Metrics {
+            per_agent: vec![(10, 20, 1), (5, 7, 0)],
+            checkpoints: vec![],
+            steps: 42,
+        };
+        assert_eq!(m.total_moves(), 15);
+        assert_eq!(m.total_accesses(), 27);
+        assert_eq!(m.total_work(), 42);
+        assert_eq!(m.total_waits(), 1);
+    }
+
+    #[test]
+    fn atomic_counters_snapshot() {
+        let am = AgentMetrics::default();
+        am.moves.fetch_add(3, Ordering::Relaxed);
+        am.accesses.fetch_add(2, Ordering::Relaxed);
+        assert_eq!(am.snapshot(), (3, 2, 0));
+        let cloned = am.clone();
+        assert_eq!(cloned.snapshot(), (3, 2, 0));
+    }
+}

@@ -1,0 +1,187 @@
+//! Schedulers: the asynchrony adversary.
+//!
+//! Agents are asynchronous — "every action takes a finite but otherwise
+//! unpredictable amount of time". The gated engine reifies that
+//! unpredictability as a scheduler which, at every tick, picks which of
+//! the ready agents performs its next primitive. Protocol correctness
+//! claims are tested across scheduler policies and seeds; impossibility
+//! demonstrations use the *lockstep* policy, the paper's Section 1.3
+//! synchronous adversary that keeps symmetric agents in symmetric states
+//! forever.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks the next agent to run among those ready.
+pub trait Scheduler: Send {
+    /// `ready` is non-empty and sorted ascending; return one element.
+    fn pick(&mut self, ready: &[usize], tick: u64) -> usize;
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Uniformly random choice (seeded, reproducible).
+#[derive(Debug)]
+pub struct RandomScheduler(StdRng);
+
+impl RandomScheduler {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler(StdRng::seed_from_u64(seed ^ 0x5EED))
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
+        ready[self.0.gen_range(0..ready.len())]
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Round-robin over agent ids.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    last: usize,
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
+        // Next ready agent strictly after `last`, wrapping.
+        let next = ready
+            .iter()
+            .copied()
+            .find(|&a| a > self.last)
+            .unwrap_or(ready[0]);
+        self.last = next;
+        next
+    }
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// The synchronous-lockstep adversary of the paper's Section 1.3: all
+/// agents advance in rounds, one primitive each per round, in a fixed
+/// order. Against deterministic agents started in symmetric states on a
+/// symmetric instance, this scheduler preserves the symmetry forever —
+/// the engine's step budget then exposes the livelock.
+#[derive(Debug, Default)]
+pub struct LockstepScheduler {
+    served_this_round: Vec<usize>,
+}
+
+impl Scheduler for LockstepScheduler {
+    fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
+        if let Some(&a) = ready
+            .iter()
+            .find(|a| !self.served_this_round.contains(a))
+        {
+            self.served_this_round.push(a);
+            return a;
+        }
+        // Everyone ready has been served: new round.
+        self.served_this_round.clear();
+        let a = ready[0];
+        self.served_this_round.push(a);
+        a
+    }
+    fn name(&self) -> &'static str {
+        "lockstep"
+    }
+}
+
+/// An adversarial scheduler that starves the highest-id agents as long
+/// as lower-id ones are ready (a maximally unfair—but still weakly
+/// fair—policy, useful for robustness tests).
+#[derive(Debug, Default)]
+pub struct GreedyLowestScheduler;
+
+impl Scheduler for GreedyLowestScheduler {
+    fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
+        ready[0]
+    }
+    fn name(&self) -> &'static str {
+        "greedy-lowest"
+    }
+}
+
+/// Convenience constructor used by configuration code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Seeded random.
+    Random,
+    /// Round-robin.
+    RoundRobin,
+    /// Synchronous lockstep (the §1.3 adversary).
+    Lockstep,
+    /// Greedy lowest id.
+    GreedyLowest,
+}
+
+impl Policy {
+    /// Instantiate the scheduler (the seed is used by `Random` only).
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Random => Box::new(RandomScheduler::new(seed)),
+            Policy::RoundRobin => Box::new(RoundRobinScheduler::default()),
+            Policy::Lockstep => Box::new(LockstepScheduler::default()),
+            Policy::GreedyLowest => Box::new(GreedyLowestScheduler),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let ready = vec![0, 1, 2, 3];
+        let mut a = RandomScheduler::new(9);
+        let mut b = RandomScheduler::new(9);
+        for t in 0..50 {
+            assert_eq!(a.pick(&ready, t), b.pick(&ready, t));
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let ready = vec![0, 1, 2];
+        let mut s = RoundRobinScheduler::default();
+        let picks: Vec<usize> = (0..6).map(|t| s.pick(&ready, t)).collect();
+        assert_eq!(picks, vec![1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn lockstep_serves_all_each_round() {
+        let ready = vec![0, 1, 2];
+        let mut s = LockstepScheduler::default();
+        let picks: Vec<usize> = (0..6).map(|t| s.pick(&ready, t)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn lockstep_handles_shrinking_ready_set() {
+        let mut s = LockstepScheduler::default();
+        assert_eq!(s.pick(&[0, 1], 0), 0);
+        assert_eq!(s.pick(&[0, 1], 1), 1);
+        // Agent 1 left; new round starts with 0.
+        assert_eq!(s.pick(&[0], 2), 0);
+    }
+
+    #[test]
+    fn greedy_always_lowest() {
+        let mut s = GreedyLowestScheduler;
+        assert_eq!(s.pick(&[2, 5, 9], 0), 2);
+    }
+
+    #[test]
+    fn policy_builders() {
+        for p in [Policy::Random, Policy::RoundRobin, Policy::Lockstep, Policy::GreedyLowest] {
+            let s = p.build(1);
+            assert!(!s.name().is_empty());
+        }
+    }
+}

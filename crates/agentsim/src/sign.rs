@@ -1,0 +1,98 @@
+//! Colored signs — the unit of whiteboard communication.
+//!
+//! "In a qualitative graph world colored by C, the basic unit of
+//! information is the *colored sign*, i.e., a string of bits with a
+//! color." A [`Sign`] is a color (the writer's), a *kind* (the protocols'
+//! agreed-upon tag alphabet — tags are plain bits, so protocols may
+//! freely use integers **they themselves manufacture**; only the input
+//! colors and port symbols are incomparable), and a payload of words.
+
+use crate::color::Color;
+
+/// The agreed-upon tag alphabet of the election protocols. Protocols can
+/// extend it through [`SignKind::Custom`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SignKind {
+    /// Placed by the runtime on every home-base before the run starts,
+    /// colored by the resident agent ("the home-base of a is marked with
+    /// a sign of color c(a); the sign is the same for all home-bases,
+    /// only the colors differ").
+    HomeBase,
+    /// DFS bookkeeping during MAP-DRAWING (payload: the writer's private
+    /// node number and port notes — meaningful to the writer only).
+    Visited,
+    /// Synchronization barrier marker (payload: barrier tag).
+    Sync,
+    /// A searching agent matched the waiting agent living here
+    /// (AGENT-REDUCE; payload: round tag).
+    Match,
+    /// A searching agent has completed its visit of this waiting
+    /// home-base for a round (payload: round tag).
+    VisitDone,
+    /// A reducing agent finished its sweep for a round (posted at its
+    /// own home-base; payload: round tag).
+    RoundDone,
+    /// A node acquisition (NODE-REDUCE; payload: round tag).
+    Acquired,
+    /// The election result: the sign's color is the leader's.
+    Leader,
+    /// The protocol determined the instance unsolvable.
+    Unsolvable,
+    /// Protocol-specific extension kinds.
+    Custom(u16),
+}
+
+/// A colored sign on a whiteboard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sign {
+    /// The writer's color.
+    pub color: Color,
+    /// The kind tag.
+    pub kind: SignKind,
+    /// Payload words. For private bookkeeping signs the encoding is the
+    /// writer's own; for shared signs (Sync, Match, …) the protocol fixes
+    /// the meaning (these are integers the protocol itself created, which
+    /// the qualitative model permits).
+    pub payload: Vec<u64>,
+}
+
+impl Sign {
+    /// A payload-less sign.
+    pub fn tag(color: Color, kind: SignKind) -> Sign {
+        Sign { color, kind, payload: Vec::new() }
+    }
+
+    /// A sign with payload.
+    pub fn with_payload(color: Color, kind: SignKind, payload: Vec<u64>) -> Sign {
+        Sign { color, kind, payload }
+    }
+
+    /// First payload word, if any.
+    pub fn word(&self) -> Option<u64> {
+        self.payload.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ColorRegistry;
+
+    #[test]
+    fn sign_construction() {
+        let mut reg = ColorRegistry::new(0);
+        let c = reg.fresh();
+        let s = Sign::tag(c, SignKind::HomeBase);
+        assert_eq!(s.kind, SignKind::HomeBase);
+        assert_eq!(s.word(), None);
+        let s2 = Sign::with_payload(c, SignKind::Sync, vec![42, 7]);
+        assert_eq!(s2.word(), Some(42));
+    }
+
+    #[test]
+    fn kinds_compare() {
+        assert_ne!(SignKind::Match, SignKind::VisitDone);
+        assert_eq!(SignKind::Custom(3), SignKind::Custom(3));
+        assert_ne!(SignKind::Custom(3), SignKind::Custom(4));
+    }
+}

@@ -1,0 +1,130 @@
+//! Whiteboards: per-node sign stores accessed in mutual exclusion.
+
+use crate::color::Color;
+use crate::sign::{Sign, SignKind};
+
+/// A node's whiteboard. The runtime wraps it in a mutex; the version
+/// counter lets waiting agents sleep until the board changes.
+#[derive(Debug, Clone, Default)]
+pub struct Whiteboard {
+    signs: Vec<Sign>,
+    version: u64,
+}
+
+impl Whiteboard {
+    /// An empty board.
+    pub fn new() -> Whiteboard {
+        Whiteboard::default()
+    }
+
+    /// The posted signs, in posting order.
+    pub fn signs(&self) -> &[Sign] {
+        &self.signs
+    }
+
+    /// Monotone change counter (bumped by every mutation).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Post a sign.
+    pub fn post(&mut self, sign: Sign) {
+        self.signs.push(sign);
+        self.version += 1;
+    }
+
+    /// Erase all signs matching the predicate; returns how many were
+    /// removed.
+    pub fn erase(&mut self, mut pred: impl FnMut(&Sign) -> bool) -> usize {
+        let before = self.signs.len();
+        self.signs.retain(|s| !pred(s));
+        let removed = before - self.signs.len();
+        if removed > 0 {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// The first sign of the given kind.
+    pub fn find_kind(&self, kind: SignKind) -> Option<&Sign> {
+        self.signs.iter().find(|s| s.kind == kind)
+    }
+
+    /// All signs of the given kind.
+    pub fn all_of_kind(&self, kind: SignKind) -> impl Iterator<Item = &Sign> {
+        self.signs.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// Number of *distinct colors* among signs of the given kind — the
+    /// primitive NODE-REDUCE uses to count acquisitions.
+    pub fn distinct_colors_of_kind(&self, kind: SignKind) -> usize {
+        let mut seen: Vec<Color> = Vec::new();
+        for s in self.all_of_kind(kind) {
+            if !seen.contains(&s.color) {
+                seen.push(s.color);
+            }
+        }
+        seen.len()
+    }
+
+    /// Whether a sign of this kind and color exists.
+    pub fn has(&self, kind: SignKind, color: Color) -> bool {
+        self.signs.iter().any(|s| s.kind == kind && s.color == color)
+    }
+
+    /// Whether a sign of this kind, color and leading payload word exists.
+    pub fn has_tagged(&self, kind: SignKind, color: Color, word: u64) -> bool {
+        self.signs
+            .iter()
+            .any(|s| s.kind == kind && s.color == color && s.word() == Some(word))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::ColorRegistry;
+
+    #[test]
+    fn post_and_query() {
+        let mut reg = ColorRegistry::new(0);
+        let (a, b) = (reg.fresh(), reg.fresh());
+        let mut wb = Whiteboard::new();
+        assert_eq!(wb.version(), 0);
+        wb.post(Sign::tag(a, SignKind::HomeBase));
+        wb.post(Sign::with_payload(b, SignKind::Sync, vec![3]));
+        wb.post(Sign::with_payload(a, SignKind::Sync, vec![3]));
+        assert_eq!(wb.version(), 3);
+        assert_eq!(wb.signs().len(), 3);
+        assert!(wb.find_kind(SignKind::HomeBase).is_some());
+        assert_eq!(wb.all_of_kind(SignKind::Sync).count(), 2);
+        assert!(wb.has_tagged(SignKind::Sync, b, 3));
+        assert!(!wb.has_tagged(SignKind::Sync, b, 4));
+    }
+
+    #[test]
+    fn distinct_colors_counted_once() {
+        let mut reg = ColorRegistry::new(0);
+        let a = reg.fresh();
+        let b = reg.fresh();
+        let mut wb = Whiteboard::new();
+        wb.post(Sign::tag(a, SignKind::Acquired));
+        wb.post(Sign::tag(a, SignKind::Acquired));
+        wb.post(Sign::tag(b, SignKind::Acquired));
+        assert_eq!(wb.distinct_colors_of_kind(SignKind::Acquired), 2);
+    }
+
+    #[test]
+    fn erase_bumps_version_only_when_removing() {
+        let mut reg = ColorRegistry::new(0);
+        let a = reg.fresh();
+        let mut wb = Whiteboard::new();
+        wb.post(Sign::tag(a, SignKind::Visited));
+        let v = wb.version();
+        assert_eq!(wb.erase(|s| s.kind == SignKind::Sync), 0);
+        assert_eq!(wb.version(), v);
+        assert_eq!(wb.erase(|s| s.kind == SignKind::Visited), 1);
+        assert_eq!(wb.version(), v + 1);
+        assert!(wb.signs().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! E8 ablation — gated deterministic engine vs the free-running parallel
+//! engine, on identical fixed-work agent programs (moves + board writes).
+//! The gated engine serializes everything for determinism; the free
+//! engine exploits real threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qelect_agentsim::freerun::{run_free, FreeAgent, FreeRunConfig};
+use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+use qelect_agentsim::{AgentOutcome, MobileCtx, Sign, SignKind};
+use qelect_graph::{families, Bicolored};
+
+const HOPS: usize = 200;
+
+fn workload<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, qelect_agentsim::Interrupt> {
+    for _ in 0..HOPS {
+        let entry = ctx.entry();
+        let fwd = ctx
+            .ports()
+            .into_iter()
+            .find(|&p| Some(p) != entry)
+            .expect("degree 2");
+        ctx.move_via(fwd)?;
+        let me = ctx.color();
+        ctx.with_board(move |wb| wb.post(Sign::tag(me, SignKind::Visited)))?;
+    }
+    Ok(AgentOutcome::Defeated)
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime/engines");
+    for r in [2usize, 4, 8] {
+        let hbs: Vec<usize> = (0..r).map(|i| 2 * i).collect();
+        let bc = Bicolored::new(families::cycle(16).unwrap(), &hbs).unwrap();
+        group.bench_with_input(BenchmarkId::new("gated", r), &bc, |b, bc| {
+            b.iter(|| {
+                let agents: Vec<GatedAgent> =
+                    (0..bc.r()).map(|_| -> GatedAgent { Box::new(workload) }).collect();
+                let report = run_gated(bc, RunConfig::default(), agents);
+                assert!(report.interrupted.is_none());
+                report.metrics.total_moves()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("free", r), &bc, |b, bc| {
+            b.iter(|| {
+                let agents: Vec<FreeAgent> =
+                    (0..bc.r()).map(|_| -> FreeAgent { Box::new(workload) }).collect();
+                let report = run_free(bc, FreeRunConfig::default(), agents);
+                assert!(report.interrupted.is_none());
+                report.metrics.total_moves()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_engines
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E5/E7 — the decision machinery of Theorems 2.1 and 4.1: Cayley
+//! recognition (regular-subgroup search), the marking construction, and
+//! exhaustive-labeling symmetricity on tiny instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qelect_graph::{families, symmetricity};
+use qelect_group::marking::marking_schedule;
+use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
+use qelect_group::CayleyGraph;
+
+fn bench_recognition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory/cayley-recognition");
+    let cases = vec![
+        ("C8", families::cycle(8).unwrap()),
+        ("Q3", families::hypercube(3).unwrap()),
+        ("petersen", families::petersen().unwrap()),
+        ("K6", families::complete(6).unwrap()),
+        ("StarGraph S3", families::star_graph(3).unwrap()),
+    ];
+    for (label, g) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &g, |b, g| {
+            b.iter(|| {
+                let rec = regular_subgroups(g, RecognitionBudget::default());
+                rec.subgroups.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_marking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory/thm41-marking");
+    let cases: Vec<(&str, CayleyGraph, Vec<usize>)> = vec![
+        ("C12-antipodal", CayleyGraph::cycle(12).unwrap(), vec![0, 6]),
+        ("Q4-antipodal", CayleyGraph::hypercube(4).unwrap(), vec![0, 15]),
+        ("torus4x4", CayleyGraph::torus(&[4, 4]).unwrap(), vec![0, 10]),
+    ];
+    for (label, cg, hbs) in cases {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(cg, hbs),
+            |b, (cg, hbs)| b.iter(|| marking_schedule(cg, hbs).d),
+        );
+    }
+    group.finish();
+}
+
+fn bench_symmetricity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory/thm21-exhaustive");
+    for n in [4usize, 5] {
+        let g = families::cycle(n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                symmetricity::impossible_by_thm21_exhaustive(g, &[0, 2], 100_000)
+                    .expect("within cap")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_recognition, bench_marking, bench_symmetricity
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7 — Yamashita–Kameda view machinery: partition-refinement view
+//! classes (used by the Theorem 2.1 checker) vs explicit view trees
+//! (the Norris-depth oracle), across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qelect_graph::view::{view_partition, ViewTree};
+use qelect_graph::{families, Bicolored};
+
+fn bench_view_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("views/refinement");
+    for n in [16usize, 32, 64, 128] {
+        let bc = Bicolored::new(families::cycle(n).unwrap(), &[0, 1]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bc, |b, bc| {
+            b.iter(|| view_partition(bc).k)
+        });
+    }
+    for dims in [vec![4usize, 4], vec![5, 5]] {
+        let label = format!("torus{}x{}", dims[0], dims[1]);
+        let bc = Bicolored::new(families::torus(&dims).unwrap(), &[0]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &bc, |b, bc| {
+            b.iter(|| view_partition(bc).k)
+        });
+    }
+    group.finish();
+}
+
+fn bench_view_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("views/explicit-trees");
+    // Explicit truncated trees blow up with depth; keep shallow.
+    for n in [6usize, 8, 10] {
+        let bc = Bicolored::new(families::cycle(n).unwrap(), &[0]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &bc, |b, bc| {
+            b.iter(|| ViewTree::build(bc, 0, bc.n() - 1).size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench_view_partition, bench_view_trees
+}
+criterion_main!(benches);

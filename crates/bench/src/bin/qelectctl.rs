@@ -1,0 +1,90 @@
+//! `qelectctl` — run any protocol on any instance from the command line.
+//!
+//! ```sh
+//! cargo run -p qelect-bench --bin qelectctl -- elect cycle:9 --agents 0,1,3
+//! cargo run -p qelect-bench --bin qelectctl -- cayley hypercube:3 --agents 0,7
+//! cargo run -p qelect-bench --bin qelectctl -- petersen petersen --agents 0,1
+//! cargo run -p qelect-bench --bin qelectctl -- elect petersen --agents 0,1 --dot
+//! ```
+
+use qelect::prelude::*;
+use qelect_bench::cli::{parse_args, Invocation, Protocol};
+use qelect_graph::Bicolored;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inv = match parse_args(&args) {
+        Ok(inv) => inv,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    run(inv);
+}
+
+fn run(inv: Invocation) {
+    let bc = match Bicolored::new(inv.graph.clone(), &inv.agents) {
+        Ok(bc) => bc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "instance: {} (n = {}, |E| = {}), agents at {:?}, seed {}, policy {:?}",
+        inv.family_spec,
+        bc.n(),
+        bc.graph().m(),
+        bc.homebases(),
+        inv.seed,
+        inv.policy
+    );
+    if inv.dot {
+        println!("{}", qelect_graph::dot::classes_to_dot(&bc));
+        return;
+    }
+    let cfg = RunConfig {
+        seed: inv.seed,
+        policy: inv.policy,
+        ..RunConfig::default()
+    };
+    let report = match inv.protocol {
+        Protocol::Elect => run_elect(&bc, cfg),
+        Protocol::Cayley => run_translation_elect(&bc, cfg),
+        Protocol::Quantitative => {
+            let ids: Vec<u64> = (0..bc.r() as u64).map(|i| 100 + i).collect();
+            println!("labels: {ids:?}");
+            run_quantitative(&bc, cfg, &ids)
+        }
+        Protocol::View => qelect::view_elect::run_view_elect(&bc, cfg),
+        Protocol::Gather => qelect::gathering::run_gather(&bc, cfg),
+        Protocol::Petersen => qelect::petersen::run_petersen(&bc, cfg),
+        Protocol::Anonymous => qelect::anonymous::run_ring_probe(&bc, cfg),
+    };
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        println!("agent {i} ({}): {outcome:?}", report.colors[i]);
+    }
+    match report.leader {
+        Some(i) => println!("leader: agent {i}"),
+        None => println!("no unique leader"),
+    }
+    if let Some(int) = &report.interrupted {
+        println!("interrupted: {int}");
+    }
+    println!(
+        "cost: {} moves, {} whiteboard accesses, {} scheduler steps",
+        report.metrics.total_moves(),
+        report.metrics.total_accesses(),
+        report.metrics.steps
+    );
+    println!(
+        "oracle: class gcd = {} → election {}",
+        qelect::solvability::gcd_of_class_sizes(&bc),
+        if qelect::solvability::elect_succeeds(&bc) {
+            "possible (for ELECT)"
+        } else {
+            "not achievable by ELECT"
+        }
+    );
+}

@@ -1,0 +1,259 @@
+//! Command-line parsing for `qelectctl`, the instance driver.
+//!
+//! Spec syntax (hand-rolled; no CLI dependency):
+//!
+//! ```text
+//! qelectctl <protocol> <family> [options]
+//!
+//! protocols: elect | cayley | quantitative | view | gather | petersen | anonymous
+//! families:  cycle:N | path:N | complete:N | hypercube:D | torus:AxB[xC…]
+//!            | petersen | gp:N:K | star:N | circulant:N:o1,o2 | ccc:D
+//!            | butterfly:D | stargraph:K | random:N:P:SEED | tree:D | grid:WxH
+//! options:   --agents 0,1,3   home-bases (default: 0)
+//!            --seed N         run seed (default 0)
+//!            --policy P       random | round-robin | lockstep | greedy
+//!            --dot            print the instance as Graphviz DOT
+//! ```
+
+use qelect_agentsim::sched::Policy;
+use qelect_graph::{families, Graph};
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Plain ELECT (Fig. 3).
+    Elect,
+    /// The effectual Cayley protocol (Thm 4.1).
+    Cayley,
+    /// The quantitative universal baseline.
+    Quantitative,
+    /// View-ordered quantitative election.
+    View,
+    /// Election + gathering.
+    Gather,
+    /// The bespoke Fig. 5 Petersen protocol.
+    Petersen,
+    /// The anonymous ring probe (§1.3 demo).
+    Anonymous,
+}
+
+/// A fully parsed invocation.
+#[derive(Debug)]
+pub struct Invocation {
+    /// The protocol.
+    pub protocol: Protocol,
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Home-bases.
+    pub agents: Vec<usize>,
+    /// Run seed.
+    pub seed: u64,
+    /// Scheduler policy.
+    pub policy: Policy,
+    /// Print DOT instead of metrics detail.
+    pub dot: bool,
+    /// The family spec (echoed in output).
+    pub family_spec: String,
+}
+
+/// Parse errors, with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Parse a protocol name.
+pub fn parse_protocol(s: &str) -> Result<Protocol, ParseError> {
+    Ok(match s {
+        "elect" => Protocol::Elect,
+        "cayley" => Protocol::Cayley,
+        "quantitative" | "quant" => Protocol::Quantitative,
+        "view" => Protocol::View,
+        "gather" => Protocol::Gather,
+        "petersen" => Protocol::Petersen,
+        "anonymous" | "anon" => Protocol::Anonymous,
+        other => return err(format!("unknown protocol '{other}'")),
+    })
+}
+
+fn parse_usize(s: &str, what: &str) -> Result<usize, ParseError> {
+    s.parse()
+        .map_err(|_| ParseError(format!("bad {what}: '{s}'")))
+}
+
+/// Parse a family spec like `cycle:9` or `torus:3x4`.
+pub fn parse_family(spec: &str) -> Result<Graph, ParseError> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or("");
+    let rest: Vec<&str> = parts.collect();
+    let g = match (name, rest.as_slice()) {
+        ("cycle", [n]) => families::cycle(parse_usize(n, "cycle size")?),
+        ("path", [n]) => families::path(parse_usize(n, "path size")?),
+        ("complete", [n]) => families::complete(parse_usize(n, "complete size")?),
+        ("hypercube", [d]) => families::hypercube(parse_usize(d, "dimension")?),
+        ("torus", [dims]) => {
+            let dims: Result<Vec<usize>, _> =
+                dims.split('x').map(|d| parse_usize(d, "torus dim")).collect();
+            families::torus(&dims?)
+        }
+        ("petersen", []) => families::petersen(),
+        ("gp", [n, k]) => families::generalized_petersen(
+            parse_usize(n, "gp n")?,
+            parse_usize(k, "gp k")?,
+        ),
+        ("star", [n]) => families::star(parse_usize(n, "leaf count")?),
+        ("circulant", [n, offs]) => {
+            let offsets: Result<Vec<usize>, _> =
+                offs.split(',').map(|o| parse_usize(o, "offset")).collect();
+            families::circulant(parse_usize(n, "size")?, &offsets?)
+        }
+        ("ccc", [d]) => families::cube_connected_cycles(parse_usize(d, "dimension")?),
+        ("butterfly", [d]) => families::wrapped_butterfly(parse_usize(d, "dimension")?),
+        ("stargraph", [k]) => families::star_graph(parse_usize(k, "k")?),
+        ("random", [n, p, seed]) => {
+            let p: f64 = p.parse().map_err(|_| ParseError(format!("bad p '{p}'")))?;
+            families::random_connected(
+                parse_usize(n, "size")?,
+                p,
+                parse_usize(seed, "seed")? as u64,
+            )
+        }
+        ("tree", [d]) => families::binary_tree(parse_usize(d, "depth")?),
+        ("grid", [dims]) => {
+            let mut it = dims.split('x');
+            let w = parse_usize(it.next().unwrap_or(""), "grid width")?;
+            let h = parse_usize(it.next().unwrap_or(""), "grid height")?;
+            families::grid(w, h)
+        }
+        _ => return err(format!("unknown family spec '{spec}'")),
+    };
+    g.map_err(|e| ParseError(format!("bad family '{spec}': {e}")))
+}
+
+/// Parse a full argv (without the binary name).
+pub fn parse_args(args: &[String]) -> Result<Invocation, ParseError> {
+    if args.len() < 2 {
+        return err(
+            "usage: qelectctl <protocol> <family> [--agents 0,1,3] [--seed N] \
+             [--policy P] [--dot]",
+        );
+    }
+    let protocol = parse_protocol(&args[0])?;
+    let family_spec = args[1].clone();
+    let graph = parse_family(&family_spec)?;
+    let mut agents = vec![0usize];
+    let mut seed = 0u64;
+    let mut policy = Policy::Random;
+    let mut dot = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--agents" => {
+                i += 1;
+                let list = args.get(i).ok_or(ParseError("--agents needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|a| parse_usize(a, "agent node")).collect();
+                agents = parsed?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                seed = parse_usize(v, "seed")? as u64;
+            }
+            "--policy" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--policy needs a value".into()))?;
+                policy = match v.as_str() {
+                    "random" => Policy::Random,
+                    "round-robin" | "rr" => Policy::RoundRobin,
+                    "lockstep" => Policy::Lockstep,
+                    "greedy" => Policy::GreedyLowest,
+                    other => return err(format!("unknown policy '{other}'")),
+                };
+            }
+            "--dot" => dot = true,
+            other => return err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(Invocation { protocol, graph, agents, seed, policy, dot, family_spec })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_minimal() {
+        let inv = parse_args(&argv("elect cycle:9")).unwrap();
+        assert_eq!(inv.protocol, Protocol::Elect);
+        assert_eq!(inv.graph.n(), 9);
+        assert_eq!(inv.agents, vec![0]);
+        assert_eq!(inv.seed, 0);
+    }
+
+    #[test]
+    fn parses_full_options() {
+        let inv = parse_args(&argv(
+            "cayley hypercube:3 --agents 0,7 --seed 42 --policy lockstep --dot",
+        ))
+        .unwrap();
+        assert_eq!(inv.protocol, Protocol::Cayley);
+        assert_eq!(inv.graph.n(), 8);
+        assert_eq!(inv.agents, vec![0, 7]);
+        assert_eq!(inv.seed, 42);
+        assert_eq!(inv.policy, Policy::Lockstep);
+        assert!(inv.dot);
+    }
+
+    #[test]
+    fn parses_every_family() {
+        for spec in [
+            "cycle:5",
+            "path:4",
+            "complete:4",
+            "hypercube:3",
+            "torus:3x4",
+            "petersen",
+            "gp:7:2",
+            "star:4",
+            "circulant:8:1,3",
+            "ccc:3",
+            "butterfly:3",
+            "stargraph:3",
+            "random:8:0.3:7",
+            "tree:2",
+            "grid:3x3",
+        ] {
+            assert!(parse_family(spec).is_ok(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        assert!(parse_args(&argv("elect")).is_err());
+        assert!(parse_args(&argv("blah cycle:5")).is_err());
+        assert!(parse_args(&argv("elect cycle:x")).is_err());
+        assert!(parse_args(&argv("elect cycle:5 --policy warp")).is_err());
+        assert!(parse_args(&argv("elect nosuch:5")).is_err());
+        assert!(parse_args(&argv("elect cycle:5 --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn protocol_aliases() {
+        assert_eq!(parse_protocol("quant").unwrap(), Protocol::Quantitative);
+        assert_eq!(parse_protocol("anon").unwrap(), Protocol::Anonymous);
+    }
+}

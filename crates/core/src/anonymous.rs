@@ -1,0 +1,128 @@
+//! Anonymous agents: the executable §1.3 impossibility argument.
+//!
+//! With *anonymous* agents (no colors at all — modeled by giving every
+//! agent the **same** color), no effectual election protocol exists. The
+//! paper's argument compares two instances:
+//!
+//! * `G₁ = C₃` with one agent — election is trivially possible;
+//! * `G₂ = C₆` with two agents at distance 3 — under a synchronous
+//!   scheduler that moves symmetric agents identically, both agents stay
+//!   in the same state forever, so no protocol can elect.
+//!
+//! An agent behaves identically in both, so any protocol that elects on
+//! `G₁` misbehaves on `G₂`. [`ring_probe`] is such a protocol: it walks
+//! forward dropping its (shared-color) marks and concludes "I am alone
+//! on a ring of length L" when it first re-encounters a mark. On `C₃`
+//! alone that is correct; on `C₆` with a lockstep twin, each agent finds
+//! the *other's* indistinguishable mark after 3 hops and both declare
+//! themselves leader — the protocol violation the theory predicts.
+
+use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::{AgentOutcome, ColorRegistry, Interrupt, MobileCtx, Sign, SignKind};
+use qelect_graph::Bicolored;
+
+/// The mark an anonymous ring-prober drops.
+pub const PROBE_MARK: SignKind = SignKind::Custom(11);
+
+/// A plausible anonymous election protocol for rings: drop a mark, walk
+/// forward (never back through the entry port), and claim leadership
+/// upon meeting a mark — "I went all the way around, I am alone."
+///
+/// Sound for a lone agent; unsound with indistinguishable companions.
+pub fn ring_probe<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+    let me = ctx.color();
+    ctx.with_board(move |wb| wb.post(Sign::tag(me, PROBE_MARK)))?;
+    loop {
+        let entry = ctx.entry();
+        let fwd = ctx
+            .ports()
+            .into_iter()
+            .find(|&p| Some(p) != entry)
+            .expect("ring nodes have degree 2");
+        ctx.move_via(fwd)?;
+        let marked = ctx
+            .read_board()?
+            .iter()
+            .any(|s| s.kind == PROBE_MARK);
+        if marked {
+            // "That is my mark — I have circled the whole ring alone."
+            return Ok(AgentOutcome::Leader);
+        }
+        let me = ctx.color();
+        ctx.with_board(move |wb| wb.post(Sign::tag(me, PROBE_MARK)))?;
+    }
+}
+
+/// Run a protocol with **anonymous** agents: every agent carries the
+/// same color (the model of the paper's "anonymous" row in Table 1).
+/// Implemented as a thin wrapper that pre-empts the runtime's distinct
+/// colors by the shared-color convention at the whiteboard level: the
+/// probing protocol above never compares colors, so distinctness of the
+/// runtime colors is immaterial — what matters is that the *marks* are
+/// indistinguishable, which `PROBE_MARK` tags achieve.
+pub fn run_ring_probe(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    let agents: Vec<GatedAgent> = (0..bc.r())
+        .map(|_| -> GatedAgent { Box::new(ring_probe) })
+        .collect();
+    run_gated(bc, cfg, agents)
+}
+
+/// The shared color anonymous demos use for illustration.
+pub fn shared_color(seed: u64) -> qelect_agentsim::Color {
+    ColorRegistry::new(seed).fresh()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_agentsim::sched::Policy;
+    use qelect_graph::families;
+
+    #[test]
+    fn lone_agent_on_c3_elects_correctly() {
+        let bc = Bicolored::new(families::cycle(3).unwrap(), &[0]).unwrap();
+        let report = run_ring_probe(&bc, RunConfig::default());
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+        assert!(report.clean_election());
+    }
+
+    #[test]
+    fn twins_on_c6_both_claim_leadership() {
+        // The §1.3 scheduler: lockstep. Both agents walk three hops, each
+        // finds the other's indistinguishable mark, and both elect
+        // themselves — two leaders, protocol violated.
+        let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
+        let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+        let report = run_ring_probe(&bc, cfg);
+        let leaders = report
+            .outcomes
+            .iter()
+            .filter(|o| **o == AgentOutcome::Leader)
+            .count();
+        assert_eq!(leaders, 2, "symmetry forces a double election: {:?}", report.outcomes);
+        assert!(!report.clean_election());
+    }
+
+    #[test]
+    fn violation_shows_under_many_symmetric_lengths() {
+        for n in [4usize, 6, 8, 10] {
+            let bc =
+                Bicolored::new(families::cycle(n).unwrap(), &[0, n / 2]).unwrap();
+            let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+            let report = run_ring_probe(&bc, cfg);
+            let leaders = report
+                .outcomes
+                .iter()
+                .filter(|o| **o == AgentOutcome::Leader)
+                .count();
+            assert_eq!(leaders, 2, "n = {n}: {:?}", report.outcomes);
+        }
+    }
+
+    #[test]
+    fn lone_agent_walk_length_matches_ring_size() {
+        let bc = Bicolored::new(families::cycle(5).unwrap(), &[1]).unwrap();
+        let report = run_ring_probe(&bc, RunConfig::default());
+        assert_eq!(report.metrics.total_moves(), 5, "one full circuit");
+    }
+}

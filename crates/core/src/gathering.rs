@@ -1,0 +1,125 @@
+//! Gathering (rendezvous) on top of election.
+//!
+//! "Once a leader is elected, many other computational tasks become
+//! straightforward. Such is the case for the gathering or rendezvous
+//! problem." (footnote 2 of the paper). This module makes that remark
+//! executable: run protocol ELECT; the leader stays put; every defeated
+//! agent reads the leader's color from the announcement sign, routes to
+//! the leader's home-base on its map, and reports arrival; the leader
+//! waits for all `r − 1` arrivals. Gathering succeeds exactly when
+//! election does.
+
+use crate::elect::{compute_local_view, elect_from_view};
+use crate::reduce::Courier;
+use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::{AgentOutcome, Color, Interrupt, MobileCtx, SignKind};
+use qelect_graph::Bicolored;
+
+/// Posted at the leader's home-base by each arriving agent.
+pub const GATHERED: SignKind = SignKind::Custom(31);
+
+/// Elect, then gather at the leader's home-base.
+///
+/// Returns `Leader` for the rendezvous point's owner, `Defeated` for the
+/// gathered agents (all physically at the leader's home when they
+/// return), or `Unsolvable` when election — and hence deterministic
+/// gathering — is impossible for the instance.
+pub fn gather<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+    let view = compute_local_view(ctx)?;
+    let map = view.map.clone();
+    let r = map.r();
+    let outcome = elect_from_view(ctx, view)?;
+    let mut cr = Courier::new(ctx, map);
+    match outcome {
+        AgentOutcome::Leader => {
+            // Wait at home until everyone else has arrived.
+            let need = r - 1;
+            cr.goto(0)?;
+            cr.ctx.wait_until(move |wb| {
+                let mut seen: Vec<Color> = Vec::new();
+                for s in wb.signs() {
+                    if s.kind == GATHERED && !seen.contains(&s.color) {
+                        seen.push(s.color);
+                    }
+                }
+                seen.len() >= need
+            })?;
+            cr.ctx.checkpoint("gathering complete");
+            Ok(AgentOutcome::Leader)
+        }
+        AgentOutcome::Defeated => {
+            // Learn the leader's color from the announcement at home,
+            // walk to its home-base, report arrival.
+            let signs = cr.read_at(0)?;
+            let leader_color = signs
+                .iter()
+                .find(|s| s.kind == SignKind::Leader)
+                .map(|s| s.color)
+                .expect("defeated implies a Leader announcement");
+            let target = cr
+                .map
+                .home_of(leader_color)
+                .expect("leader's home-base is on the map");
+            cr.goto(target)?;
+            cr.post(GATHERED, vec![])?;
+            Ok(AgentOutcome::Defeated)
+        }
+        other => Ok(other),
+    }
+}
+
+/// Run the gathering protocol with the gated engine.
+pub fn run_gather(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    let agents: Vec<GatedAgent> = (0..bc.r())
+        .map(|_| -> GatedAgent { Box::new(gather) })
+        .collect();
+    run_gated(bc, cfg, agents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::families;
+
+    #[test]
+    fn gathering_succeeds_where_election_does() {
+        let bc = Bicolored::new(families::cycle(7).unwrap(), &[0, 1, 3]).unwrap();
+        for seed in [1, 2, 3] {
+            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let report = run_gather(&bc, cfg);
+            assert!(
+                report.clean_election(),
+                "seed {seed}: {:?} ({:?})",
+                report.outcomes,
+                report.interrupted
+            );
+            // The leader's wait completing is the proof of co-location.
+            assert!(report
+                .metrics
+                .checkpoints
+                .iter()
+                .any(|c| c.label == "gathering complete"));
+        }
+    }
+
+    #[test]
+    fn gathering_fails_where_election_does() {
+        let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
+        let report = run_gather(&bc, RunConfig::default());
+        assert!(report.unanimous_unsolvable(), "{:?}", report.outcomes);
+    }
+
+    #[test]
+    fn single_agent_gathers_trivially() {
+        let bc = Bicolored::new(families::path(4).unwrap(), &[2]).unwrap();
+        let report = run_gather(&bc, RunConfig::default());
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+    }
+
+    #[test]
+    fn gathering_on_hypercube() {
+        let bc = Bicolored::new(families::hypercube(3).unwrap(), &[0, 1, 3]).unwrap();
+        let report = run_gather(&bc, RunConfig::default());
+        assert!(report.clean_election(), "{:?}", report.outcomes);
+    }
+}

@@ -1,0 +1,77 @@
+//! # qelect — qualitative leader election for mobile agents
+//!
+//! A production-grade implementation of the protocols and theory of
+//! *“Can we elect if we cannot compare?”* (Barrière, Flocchini,
+//! Fraigniaud, Santoro; SPAA 2003): deterministic leader election among
+//! asynchronous mobile agents whose identities are **distinct but
+//! incomparable colors**, on anonymous port-labeled networks with
+//! whiteboards.
+//!
+//! ## The protocols
+//!
+//! * [`elect`] — **Protocol ELECT** (Fig. 3 of the paper): whiteboard DFS
+//!   map drawing, computation and canonical ordering of the equivalence
+//!   classes of `(G, p)`, then GCD-reduction phases — [`reduce`]
+//!   implements AGENT-REDUCE (Fig. 4, subtractive Euclid via matchings)
+//!   and NODE-REDUCE (§3.3.2, division Euclid via node acquisition).
+//!   Elects iff `gcd(|C_1|, …, |C_k|) = 1`, in O(r·|E|) moves and
+//!   whiteboard accesses (Theorem 3.1).
+//! * [`translation_elect`] — the **effectual protocol for Cayley graphs**
+//!   (Theorem 4.1): recognizes the Cayley structure after map drawing and
+//!   certifies impossibility through translation classes, electing
+//!   otherwise.
+//! * [`quantitative`] — the folklore **universal protocol** of the
+//!   quantitative world (comparable labels): collect all IDs, the maximum
+//!   wins. The baseline of Table 1.
+//! * [`anonymous`] — executable §1.3 impossibility argument: an anonymous
+//!   protocol that is correct alone on `C_3` but elects *two* leaders on
+//!   `C_6` under the synchronous scheduler.
+//! * [`petersen`] — the bespoke two-agent protocol on the Petersen graph
+//!   (Fig. 5) that elects where ELECT fails.
+//!
+//! ## The oracles
+//!
+//! [`solvability`] provides ground truth: the gcd condition on classes,
+//! Theorem 2.1 checkers, and the cross-validation predicates the
+//! experiment suite uses to confirm every protocol outcome.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use qelect::prelude::*;
+//!
+//! // Five agents on a 9-cycle — classes have gcd 1, so ELECT elects.
+//! let g = qelect_graph::families::cycle(9).unwrap();
+//! let bc = qelect_graph::Bicolored::new(g, &[0, 1, 2, 3, 4]).unwrap();
+//! let report = run_elect(&bc, RunConfig::default());
+//! assert!(report.clean_election());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymous;
+pub mod elect;
+pub mod gathering;
+pub mod map;
+pub mod mapdraw;
+pub mod petersen;
+pub mod quantitative;
+pub mod reduce;
+pub mod schedule;
+pub mod solvability;
+pub mod stepquant;
+pub mod translation_elect;
+pub mod view_elect;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::elect::{elect, run_elect};
+    pub use crate::quantitative::{quantitative_elect, run_quantitative};
+    pub use crate::solvability::{election_possible_cayley, gcd_of_class_sizes};
+    pub use crate::translation_elect::{run_translation_elect, translation_elect};
+    pub use qelect_agentsim::{AgentOutcome, MobileCtx, RunConfig, RunReport};
+}
+
+pub use map::AgentMap;
+pub use schedule::Schedule;

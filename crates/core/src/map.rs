@@ -1,0 +1,323 @@
+//! The map an agent draws of the anonymous network.
+//!
+//! After MAP-DRAWING, an agent owns a private chart of `G`: nodes are
+//! numbered in its own DFS-discovery order, and every edge is recorded
+//! with the agent's **local port numbers at both extremities**. The map
+//! also records which nodes are home-bases and the colors of their
+//! residents. All subsequent computation — equivalence classes, class
+//! ordering, routing — is local work on this structure.
+//!
+//! Map-node numbering is private to the agent; two agents' maps of the
+//! same network are isomorphic but generally numbered differently. The
+//! protocols never exchange map-node numbers: whiteboard signs carry only
+//! colors and protocol-manufactured tags, and agreement across agents
+//! rests on isomorphism-invariant computations (canonical class order).
+
+use qelect_agentsim::{Color, LocalPort};
+use qelect_graph::{Bicolored, GraphBuilder, Port};
+
+/// One recorded edge endpoint: which map node lies across which local
+/// port, and through which of *its* local ports the agent arrives there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapEdge {
+    /// The node across the edge.
+    pub to: usize,
+    /// The agent's local port at the far end (its entry port when
+    /// traversing this edge).
+    pub far_port: LocalPort,
+}
+
+/// An agent's private chart of the network.
+#[derive(Debug, Clone, Default)]
+pub struct AgentMap {
+    /// `adj[v][p]` = the edge behind local port `p` at map node `v`
+    /// (`None` until explored; complete maps have no `None`s).
+    adj: Vec<Vec<Option<MapEdge>>>,
+    /// Home-bases discovered: `(map node, resident color)`.
+    homebases: Vec<(usize, Color)>,
+}
+
+impl AgentMap {
+    /// Create an empty map.
+    pub fn new() -> AgentMap {
+        AgentMap::default()
+    }
+
+    /// Register a newly discovered node with the given degree; returns
+    /// its map id.
+    pub fn add_node(&mut self, degree: usize) -> usize {
+        self.adj.push(vec![None; degree]);
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes discovered so far.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Degree of a map node.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Record the edge `(u, p) ↔ (v, q)` (both directions). Idempotent.
+    pub fn record_edge(&mut self, u: usize, p: LocalPort, v: usize, q: LocalPort) {
+        debug_assert!(
+            self.adj[u][p.0 as usize].is_none()
+                || self.adj[u][p.0 as usize] == Some(MapEdge { to: v, far_port: q }),
+            "conflicting edge record at ({u}, {p})"
+        );
+        self.adj[u][p.0 as usize] = Some(MapEdge { to: v, far_port: q });
+        self.adj[v][q.0 as usize] = Some(MapEdge { to: u, far_port: p });
+    }
+
+    /// The edge behind a port, if explored.
+    pub fn edge(&self, v: usize, p: LocalPort) -> Option<MapEdge> {
+        self.adj[v][p.0 as usize]
+    }
+
+    /// First unexplored port at a node, if any.
+    pub fn unexplored_port(&self, v: usize) -> Option<LocalPort> {
+        self.adj[v]
+            .iter()
+            .position(|e| e.is_none())
+            .map(|i| LocalPort(i as u32))
+    }
+
+    /// Whether every port of every node is explored.
+    pub fn is_complete(&self) -> bool {
+        self.adj.iter().all(|row| row.iter().all(|e| e.is_some()))
+    }
+
+    /// Record a home-base (idempotent per node).
+    pub fn record_homebase(&mut self, v: usize, color: Color) {
+        if !self.homebases.iter().any(|&(w, _)| w == v) {
+            self.homebases.push((v, color));
+        }
+    }
+
+    /// All home-bases as `(map node, color)`, sorted by map node.
+    pub fn homebases(&self) -> Vec<(usize, Color)> {
+        let mut hb = self.homebases.clone();
+        hb.sort_by_key(|&(v, _)| v);
+        hb
+    }
+
+    /// Number of agents `r`.
+    pub fn r(&self) -> usize {
+        self.homebases.len()
+    }
+
+    /// The resident color of a home-base map node.
+    pub fn color_at(&self, v: usize) -> Option<Color> {
+        self.homebases
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, c)| c)
+    }
+
+    /// The home-base map node carrying the given color.
+    pub fn home_of(&self, color: Color) -> Option<usize> {
+        self.homebases
+            .iter()
+            .find(|&&(_, c)| c == color)
+            .map(|&(v, _)| v)
+    }
+
+    /// Convert to a bi-colored `qelect-graph` instance (ports = the
+    /// agent's local port numbers) for class computation.
+    pub fn to_bicolored(&self) -> Bicolored {
+        assert!(self.is_complete(), "map must be complete");
+        let mut b = GraphBuilder::new(self.n());
+        let mut done = vec![Vec::new(); self.n()];
+        for u in 0..self.n() {
+            for (p, e) in self.adj[u].iter().enumerate() {
+                let e = e.expect("complete");
+                // Add each edge once: skip if the reverse was added.
+                if done[u].contains(&(p as u32)) {
+                    continue;
+                }
+                b.add_edge_with_ports(u, e.to, Port(p as u32), Port(e.far_port.0))
+                    .expect("map edges are valid");
+                done[e.to].push(e.far_port.0);
+                done[u].push(p as u32);
+            }
+        }
+        let homes: Vec<usize> = self.homebases().iter().map(|&(v, _)| v).collect();
+        Bicolored::new(
+            b.finish().expect("a complete map is connected"),
+            &homes,
+        )
+        .expect("home-bases are valid map nodes")
+    }
+
+    /// Shortest route (sequence of local ports) from `from` to `to`.
+    pub fn route(&self, from: usize, to: usize) -> Vec<LocalPort> {
+        if from == to {
+            return Vec::new();
+        }
+        let n = self.n();
+        let mut prev: Vec<Option<(usize, LocalPort)>> = vec![None; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        let mut seen = vec![false; n];
+        seen[from] = true;
+        'bfs: while let Some(u) = queue.pop_front() {
+            for (p, e) in self.adj[u].iter().enumerate() {
+                let e = e.expect("complete map");
+                if !seen[e.to] {
+                    seen[e.to] = true;
+                    prev[e.to] = Some((u, LocalPort(p as u32)));
+                    if e.to == to {
+                        break 'bfs;
+                    }
+                    queue.push_back(e.to);
+                }
+            }
+        }
+        // Reconstruct.
+        let mut ports = Vec::new();
+        let mut v = to;
+        while v != from {
+            let (u, p) = prev[v].expect("connected map");
+            ports.push(p);
+            v = u;
+        }
+        ports.reverse();
+        ports
+    }
+
+    /// An Euler-tour route over a DFS spanning tree starting and ending
+    /// at `root`, visiting every node: the cheap full sweep
+    /// (≤ `2(n−1)` moves) used for synchronization and announcements.
+    pub fn sweep_route(&self, root: usize) -> Vec<LocalPort> {
+        let n = self.n();
+        let mut visited = vec![false; n];
+        let mut route = Vec::new();
+        // Iterative DFS over tree edges.
+        fn dfs(
+            map: &AgentMap,
+            v: usize,
+            visited: &mut Vec<bool>,
+            route: &mut Vec<LocalPort>,
+        ) {
+            visited[v] = true;
+            for (p, e) in map.adj[v].iter().enumerate() {
+                let e = e.expect("complete map");
+                if !visited[e.to] {
+                    route.push(LocalPort(p as u32));
+                    dfs(map, e.to, visited, route);
+                    route.push(e.far_port); // walk back up
+                }
+            }
+        }
+        dfs(self, root, &mut visited, &mut route);
+        route
+    }
+
+    /// The node sequence a route visits, starting from `from` (excludes
+    /// the start).
+    pub fn trace(&self, from: usize, route: &[LocalPort]) -> Vec<usize> {
+        let mut v = from;
+        let mut out = Vec::with_capacity(route.len());
+        for &p in route {
+            v = self.edge(v, p).expect("explored").to;
+            out.push(v);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_agentsim::ColorRegistry;
+
+    /// Build the map of a triangle by hand.
+    fn triangle_map() -> AgentMap {
+        let mut m = AgentMap::new();
+        let a = m.add_node(2);
+        let b = m.add_node(2);
+        let c = m.add_node(2);
+        m.record_edge(a, LocalPort(0), b, LocalPort(0));
+        m.record_edge(b, LocalPort(1), c, LocalPort(0));
+        m.record_edge(c, LocalPort(1), a, LocalPort(1));
+        m
+    }
+
+    #[test]
+    fn completeness_and_conversion() {
+        let m = triangle_map();
+        assert!(m.is_complete());
+        let bc = m.to_bicolored();
+        assert_eq!(bc.n(), 3);
+        assert_eq!(bc.graph().m(), 3);
+    }
+
+    #[test]
+    fn unexplored_tracking() {
+        let mut m = AgentMap::new();
+        let a = m.add_node(2);
+        assert_eq!(m.unexplored_port(a), Some(LocalPort(0)));
+        let b = m.add_node(1);
+        m.record_edge(a, LocalPort(0), b, LocalPort(0));
+        assert_eq!(m.unexplored_port(a), Some(LocalPort(1)));
+        assert_eq!(m.unexplored_port(b), None);
+        assert!(!m.is_complete());
+    }
+
+    #[test]
+    fn routes_are_shortest() {
+        let m = triangle_map();
+        let r = m.route(0, 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(m.trace(0, &r), vec![2]);
+        assert!(m.route(1, 1).is_empty());
+    }
+
+    #[test]
+    fn sweep_visits_everything_and_returns() {
+        let m = triangle_map();
+        let route = m.sweep_route(0);
+        let visited = m.trace(0, &route);
+        assert!(visited.contains(&1));
+        assert!(visited.contains(&2));
+        assert_eq!(*visited.last().unwrap(), 0, "sweep returns to root");
+        assert!(route.len() <= 2 * (m.n() - 1));
+    }
+
+    #[test]
+    fn homebases_and_colors() {
+        let mut m = triangle_map();
+        let mut reg = ColorRegistry::new(3);
+        let c0 = reg.fresh();
+        let c2 = reg.fresh();
+        m.record_homebase(0, c0);
+        m.record_homebase(2, c2);
+        m.record_homebase(0, c0); // idempotent
+        assert_eq!(m.r(), 2);
+        assert_eq!(m.color_at(0), Some(c0));
+        assert_eq!(m.color_at(1), None);
+        assert_eq!(m.home_of(c2), Some(2));
+        let bc = m.to_bicolored();
+        assert!(bc.is_black(0));
+        assert!(!bc.is_black(1));
+        assert!(bc.is_black(2));
+    }
+
+    #[test]
+    fn loops_and_parallel_edges_supported() {
+        let mut m = AgentMap::new();
+        let a = m.add_node(4);
+        let b = m.add_node(2);
+        // Parallel edges a↔b.
+        m.record_edge(a, LocalPort(0), b, LocalPort(0));
+        m.record_edge(a, LocalPort(1), b, LocalPort(1));
+        // Loop at a.
+        m.record_edge(a, LocalPort(2), a, LocalPort(3));
+        assert!(m.is_complete());
+        let bc = m.to_bicolored();
+        assert_eq!(bc.graph().m(), 3);
+        assert!(!bc.graph().is_simple());
+    }
+}

@@ -1,0 +1,223 @@
+//! MAP-DRAWING: the initial phase of Protocol ELECT.
+//!
+//! "An initial phase allows each agent placed by p in a network G to draw
+//! a map of G, including the positions and the colors of the home-bases.
+//! For that purpose, marking the whiteboards, each agent performs a DFS
+//! traversal of G." (§3.2)
+//!
+//! The DFS uses the agent's own colored `Visited` signs (payload: the
+//! agent's private node number) to recognize nodes it has seen; the
+//! **distinctness** of colors is what makes this possible — the paper
+//! notes the task is impossible without it, and the executable
+//! counterexample lives in [`crate::anonymous`]. Concurrent agents do not
+//! interfere: each reads only its own marks (plus the pre-placed
+//! `HomeBase` signs, whose colors it records on its map).
+//!
+//! Cost: each edge is traversed at most 4 times (out-and-bounce from both
+//! sides), so one agent spends `O(|E|)` moves and accesses — `O(r·|E|)`
+//! in total, the map-drawing share of Theorem 3.1's bound.
+
+use crate::map::AgentMap;
+use qelect_agentsim::{Interrupt, LocalPort, MobileCtx, Sign, SignKind};
+
+/// Walk the whole graph by whiteboard DFS and return the completed map.
+/// The agent ends back at its home-base (map node 0).
+pub fn map_drawing<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
+    let me = ctx.color();
+    let mut map = AgentMap::new();
+    let root = map.add_node(ctx.degree());
+
+    // Mark the root and record the resident (our own home-base sign).
+    let hb_colors = ctx.with_board(|wb| {
+        wb.post(Sign::with_payload(me, SignKind::Visited, vec![root as u64]));
+        wb.all_of_kind(SignKind::HomeBase)
+            .map(|s| s.color)
+            .collect::<Vec<_>>()
+    })?;
+    for c in hb_colors {
+        map.record_homebase(root, c);
+    }
+
+    // DFS state: the retreat port of each discovered node (toward its
+    // DFS parent), `None` for the root.
+    let mut retreat: Vec<Option<LocalPort>> = vec![None];
+    let mut current = root;
+
+    loop {
+        if let Some(p) = map.unexplored_port(current) {
+            ctx.move_via(p)?;
+            let entry = ctx.entry().expect("entry is set after a move");
+            let degree = ctx.degree();
+            let candidate = map.n() as u64;
+            // Atomically: am I new here? If so claim the candidate id.
+            let (known, hb_colors) = ctx.with_board(|wb| {
+                let known = wb
+                    .signs()
+                    .iter()
+                    .find(|s| s.kind == SignKind::Visited && s.color == me)
+                    .and_then(|s| s.word());
+                if known.is_none() {
+                    wb.post(Sign::with_payload(me, SignKind::Visited, vec![candidate]));
+                }
+                let hb: Vec<_> = wb
+                    .all_of_kind(SignKind::HomeBase)
+                    .map(|s| s.color)
+                    .collect();
+                (known, hb)
+            })?;
+            match known {
+                Some(k) => {
+                    // Already-charted node: record the edge and bounce back.
+                    map.record_edge(current, p, k as usize, entry);
+                    ctx.move_via(entry)?;
+                }
+                None => {
+                    // Fresh node: chart it and descend.
+                    let id = map.add_node(degree);
+                    debug_assert_eq!(id as u64, candidate);
+                    map.record_edge(current, p, id, entry);
+                    for c in hb_colors {
+                        map.record_homebase(id, c);
+                    }
+                    retreat.push(Some(entry));
+                    current = id;
+                }
+            }
+        } else if let Some(back) = retreat[current] {
+            // All ports explored here: retreat toward the parent.
+            let parent = map.edge(current, back).expect("retreat edge charted").to;
+            ctx.move_via(back)?;
+            current = parent;
+        } else {
+            // Back at the root with everything explored.
+            debug_assert!(map.is_complete(), "DFS must chart every port");
+            return Ok(map);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+    use qelect_agentsim::AgentOutcome;
+    use qelect_graph::canon::are_isomorphic;
+    use qelect_graph::{families, Bicolored, ColoredDigraph};
+    use std::sync::mpsc;
+
+    /// Run map drawing for every agent and return the maps.
+    fn draw_all(bc: &Bicolored, seed: u64) -> Vec<AgentMap> {
+        let (tx, rx) = mpsc::channel::<(usize, AgentMap)>();
+        let agents: Vec<GatedAgent> = (0..bc.r())
+            .map(|i| -> GatedAgent {
+                let tx = tx.clone();
+                Box::new(move |ctx| {
+                    let map = map_drawing(ctx)?;
+                    tx.send((i, map)).expect("collector alive");
+                    Ok(AgentOutcome::Defeated)
+                })
+            })
+            .collect();
+        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let report = run_gated(bc, cfg, agents);
+        assert!(report.interrupted.is_none(), "{:?}", report.outcomes);
+        drop(tx);
+        let mut maps: Vec<(usize, AgentMap)> = rx.into_iter().collect();
+        maps.sort_by_key(|&(i, _)| i);
+        maps.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn assert_map_matches(bc: &Bicolored, map: &AgentMap) {
+        assert!(map.is_complete());
+        assert_eq!(map.n(), bc.n(), "node count");
+        assert_eq!(map.r(), bc.r(), "home-base count");
+        let drawn = map.to_bicolored();
+        assert_eq!(drawn.graph().m(), bc.graph().m(), "edge count");
+        // The drawn graph must be isomorphic to the real one as a
+        // bi-colored graph (ports differ: the agent sees its private
+        // numbering).
+        let a = ColoredDigraph::from_bicolored(&drawn);
+        let b = ColoredDigraph::from_bicolored(bc);
+        assert!(are_isomorphic(&a, &b), "map not isomorphic to network");
+    }
+
+    #[test]
+    fn single_agent_maps_cycle() {
+        let bc = Bicolored::new(families::cycle(7).unwrap(), &[3]).unwrap();
+        let maps = draw_all(&bc, 1);
+        assert_map_matches(&bc, &maps[0]);
+    }
+
+    #[test]
+    fn single_agent_maps_petersen() {
+        let bc = Bicolored::new(families::petersen().unwrap(), &[0]).unwrap();
+        let maps = draw_all(&bc, 2);
+        assert_map_matches(&bc, &maps[0]);
+    }
+
+    #[test]
+    fn single_agent_maps_hypercube() {
+        let bc = Bicolored::new(families::hypercube(4).unwrap(), &[5]).unwrap();
+        let maps = draw_all(&bc, 3);
+        assert_map_matches(&bc, &maps[0]);
+    }
+
+    #[test]
+    fn concurrent_agents_all_map_correctly() {
+        let bc = Bicolored::new(families::torus(&[3, 3]).unwrap(), &[0, 4, 7]).unwrap();
+        for seed in [1, 2, 3] {
+            for map in draw_all(&bc, seed) {
+                assert_map_matches(&bc, &map);
+            }
+        }
+    }
+
+    #[test]
+    fn agents_see_each_others_homebases() {
+        let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
+        let maps = draw_all(&bc, 9);
+        for map in &maps {
+            assert_eq!(map.r(), 2);
+            // Each map's own home is node 0.
+            assert!(map.color_at(0).is_some());
+        }
+        // The two agents record the same *set* of colors.
+        let colors = |m: &AgentMap| {
+            let mut v: Vec<u64> = m
+                .homebases()
+                .iter()
+                .map(|&(_, c)| c.nonce())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(colors(&maps[0]), colors(&maps[1]));
+    }
+
+    #[test]
+    fn maps_multigraph_with_loops() {
+        let bc = Bicolored::new(families::fig2c_gadget().unwrap(), &[1]).unwrap();
+        let maps = draw_all(&bc, 4);
+        let map = &maps[0];
+        assert!(map.is_complete());
+        assert_eq!(map.n(), 3);
+        assert_eq!(map.to_bicolored().graph().m(), 6);
+    }
+
+    #[test]
+    fn map_drawing_cost_is_linear_in_edges() {
+        let bc = Bicolored::new(families::hypercube(4).unwrap(), &[0]).unwrap();
+        let agents: Vec<GatedAgent> = vec![Box::new(|ctx| {
+            map_drawing(ctx)?;
+            Ok(AgentOutcome::Defeated)
+        })];
+        let report = run_gated(&bc, RunConfig::default(), agents);
+        let m = bc.graph().m() as u64;
+        assert!(
+            report.metrics.total_moves() <= 4 * m,
+            "DFS moves {} exceed 4·|E| = {}",
+            report.metrics.total_moves(),
+            4 * m
+        );
+    }
+}

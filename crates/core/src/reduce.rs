@@ -1,0 +1,643 @@
+//! AGENT-REDUCE and NODE-REDUCE — the GCD engines of Protocol ELECT.
+//!
+//! Both subroutines realize Euclid's algorithm on class sizes through
+//! whiteboard interactions (§3.3 of the paper):
+//!
+//! * [`agent_reduce`] — *subtractive* Euclid between two sets of agents.
+//!   Each round, the `|S|` searchers traverse the network and each
+//!   matches the first unmatched waiting agent it reaches (mutual
+//!   exclusion arbitrates); matched waiting agents become passive, and
+//!   roles swap when `|W| − |S| < |S|`, exactly as in Fig. 4.
+//! * [`node_reduce`] — *division* Euclid between agents and selected
+//!   nodes. With `α` agents and `β` nodes: if `α > β` (`α = qβ + ρ`,
+//!   `0 < ρ ≤ β`) each node absorbs `q` agents, which become passive; if
+//!   `α < β` (`β = qα + ρ`) each agent acquires `q` nodes, which leave
+//!   the selection.
+//!
+//! ### Bookkeeping discipline (implementation of the paper's sketches)
+//!
+//! Every coordination step is a *monotone* whiteboard sign (`Sync`,
+//! `VisitDone`, `Match`, `RoundDone`, `Acquired`) tagged with
+//! `(phase, round)`, and every wait blocks on a sign whose poster writes
+//! it unconditionally — so no interleaving can deadlock. Agents that
+//! change role reconstruct the settled set membership by replaying the
+//! match history from the boards against the deterministic
+//! [`Schedule`](crate::schedule::Schedule); all other membership
+//! tracking is local. The move/access totals stay within the Theorem 3.1
+//! envelope: searcher work is charged to matched agents (≤ 2 traversals
+//! per match, plus O(log) swap reconstructions).
+
+use crate::map::AgentMap;
+use crate::schedule::{AgentRound, NodeRound};
+use qelect_agentsim::{Color, Interrupt, MobileCtx, Sign, SignKind, Whiteboard};
+
+/// Position-tracked navigation over the agent's map.
+pub struct Courier<'c, C: MobileCtx> {
+    /// The runtime context.
+    pub ctx: &'c mut C,
+    /// The completed map.
+    pub map: AgentMap,
+    /// Current map node.
+    pub pos: usize,
+}
+
+impl<'c, C: MobileCtx> Courier<'c, C> {
+    /// Create a courier at the home-base (map node 0).
+    pub fn new(ctx: &'c mut C, map: AgentMap) -> Self {
+        Courier { ctx, map, pos: 0 }
+    }
+
+    /// My color.
+    pub fn me(&self) -> Color {
+        self.ctx.color()
+    }
+
+    /// Travel to a map node by the shortest route.
+    pub fn goto(&mut self, node: usize) -> Result<(), Interrupt> {
+        let route = self.map.route(self.pos, node);
+        for p in route {
+            self.ctx.move_via(p)?;
+        }
+        self.pos = node;
+        Ok(())
+    }
+
+    /// Post a sign at the current node.
+    pub fn post(&mut self, kind: SignKind, payload: Vec<u64>) -> Result<(), Interrupt> {
+        let me = self.me();
+        self.ctx
+            .with_board(move |wb| wb.post(Sign::with_payload(me, kind, payload)))
+    }
+
+    /// Post a tagged sign at every node in `targets` (visited in map
+    /// order via shortest routes).
+    pub fn post_at_all(
+        &mut self,
+        targets: &[usize],
+        kind: SignKind,
+        payload: &[u64],
+    ) -> Result<(), Interrupt> {
+        for &t in targets {
+            self.goto(t)?;
+            self.post(kind, payload.to_vec())?;
+        }
+        Ok(())
+    }
+
+    /// Wait at the current node for a sign of this kind, tag and color.
+    pub fn wait_for(
+        &mut self,
+        kind: SignKind,
+        payload: Vec<u64>,
+        color: Color,
+    ) -> Result<(), Interrupt> {
+        self.ctx.wait_until(move |wb| {
+            wb.signs()
+                .iter()
+                .any(|s| s.kind == kind && s.color == color && s.payload == payload)
+        })
+    }
+
+    /// Visit every node in `others` and wait for its resident's sign.
+    pub fn barrier_visit(
+        &mut self,
+        others: &[usize],
+        kind: SignKind,
+        payload: &[u64],
+    ) -> Result<(), Interrupt> {
+        for &home in others {
+            let color = self
+                .map
+                .color_at(home)
+                .expect("barrier targets are home-bases");
+            if color == self.me() {
+                continue;
+            }
+            self.goto(home)?;
+            self.wait_for(kind, payload.to_vec(), color)?;
+        }
+        Ok(())
+    }
+
+    /// The paper's literal SYNCHRONIZE: "traversing the network and
+    /// letting appropriate colored signs on the whiteboards". Every
+    /// participant sweeps the whole graph posting the tagged sign on
+    /// *every* node, then waits at home until all `group_size` distinct
+    /// colors have shown up on its own board (they will: everyone posts
+    /// everywhere). An alternative to [`Courier::barrier_visit`] measured
+    /// by the E8 ablation — same barrier semantics, different constant.
+    pub fn barrier_sweep(
+        &mut self,
+        group_size: usize,
+        kind: SignKind,
+        payload: &[u64],
+    ) -> Result<(), Interrupt> {
+        let me = self.me();
+        let pl = payload.to_vec();
+        // Post at the current node, then along a full sweep.
+        let plc = pl.clone();
+        self.ctx
+            .with_board(move |wb| wb.post(Sign::with_payload(me, kind, plc)))?;
+        let route = self.map.sweep_route(self.pos);
+        for p in route {
+            self.ctx.move_via(p)?;
+            let plc = pl.clone();
+            self.ctx
+                .with_board(move |wb| wb.post(Sign::with_payload(me, kind, plc)))?;
+        }
+        // The sweep returns to its origin; head home and wait for all.
+        self.goto(0)?;
+        let pl2 = pl.clone();
+        self.ctx.wait_until(move |wb| {
+            let mut seen: Vec<Color> = Vec::new();
+            for s in wb.signs() {
+                if s.kind == kind && s.payload == pl2 && !seen.contains(&s.color) {
+                    seen.push(s.color);
+                }
+            }
+            seen.len() >= group_size
+        })?;
+        Ok(())
+    }
+
+    /// Read a snapshot of a node's board.
+    pub fn read_at(&mut self, node: usize) -> Result<Vec<Sign>, Interrupt> {
+        self.goto(node)?;
+        self.ctx.read_board()
+    }
+}
+
+fn has_tag(wb_signs: &[Sign], kind: SignKind, phase: u64, round: u64) -> Vec<Color> {
+    wb_signs
+        .iter()
+        .filter(|s| s.kind == kind && s.payload == [phase, round])
+        .map(|s| s.color)
+        .collect()
+}
+
+fn count_distinct_tagged(wb: &Whiteboard, kind: SignKind, phase: u64, round: u64) -> usize {
+    let mut seen: Vec<Color> = Vec::new();
+    for s in wb.signs() {
+        if s.kind == kind && s.payload == [phase, round] && !seen.contains(&s.color) {
+            seen.push(s.color);
+        }
+    }
+    seen.len()
+}
+
+/// How an agent left a reduction phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReduceExit {
+    /// Still active; carries the surviving agent homes (sorted).
+    Active(Vec<usize>),
+    /// Became passive (matched / acquired / final-W).
+    Passive,
+}
+
+/// The role an agent plays entering a phase round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Searching,
+    Waiting,
+}
+
+/// Replay the match history of rounds `0..upto` to recover the searcher
+/// and waiting sets entering round `upto`.
+fn replay_sets(
+    rounds: &[AgentRound],
+    s0: Vec<usize>,
+    w0: Vec<usize>,
+    matched_in: impl Fn(usize, u64) -> bool, // (home, round) → matched?
+    upto: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let (mut s, mut w) = (s0, w0);
+    for (t, round) in rounds.iter().enumerate().take(upto) {
+        let p: Vec<usize> = w
+            .iter()
+            .copied()
+            .filter(|&h| matched_in(h, t as u64))
+            .collect();
+        let rest: Vec<usize> = w.iter().copied().filter(|h| !p.contains(h)).collect();
+        if round.swap {
+            let old_s = std::mem::replace(&mut s, rest);
+            w = old_s;
+        } else {
+            w = rest;
+        }
+        s.sort_unstable();
+        w.sort_unstable();
+    }
+    (s, w)
+}
+
+/// Run AGENT-REDUCE for this agent.
+///
+/// * `phase` — the phase tag.
+/// * `rounds` — the schedule's subtractive-Euclid rounds.
+/// * `s0`, `w0` — initial searcher and waiting home sets (sorted; ties
+///   already resolved by the caller: `S = D` when sizes are equal).
+/// * `my_home` — this agent's home (always map node 0).
+pub fn agent_reduce<C: MobileCtx>(
+    cr: &mut Courier<'_, C>,
+    phase: u64,
+    rounds: &[AgentRound],
+    s0: Vec<usize>,
+    w0: Vec<usize>,
+) -> Result<ReduceExit, Interrupt> {
+    let my_home = 0usize;
+    let mut s = s0.clone();
+    let mut w = w0.clone();
+    let mut role = if s.contains(&my_home) {
+        Role::Searching
+    } else {
+        debug_assert!(w.contains(&my_home), "participant must be in S or W");
+        Role::Waiting
+    };
+
+    for (t, round) in rounds.iter().enumerate() {
+        let t64 = t as u64;
+        debug_assert_eq!((s.len(), w.len()), (round.s, round.w), "schedule drift");
+        match role {
+            Role::Searching => {
+                // 1. Enter the round barrier.
+                cr.goto(my_home)?;
+                cr.post(SignKind::Sync, vec![phase, t64])?;
+                cr.barrier_visit(&s, SignKind::Sync, &[phase, t64])?;
+                // 2. Matching sweep over the waiting homes: mark every
+                //    visit; match the first unmatched agent encountered.
+                let mut i_matched = false;
+                for &home in &w {
+                    cr.goto(home)?;
+                    let me = cr.me();
+                    let may_match = !i_matched;
+                    let matched_here = cr.ctx.with_board(move |wb| {
+                        wb.post(Sign::with_payload(me, SignKind::VisitDone, vec![phase, t64]));
+                        let already_matched = wb
+                            .signs()
+                            .iter()
+                            .any(|x| x.kind == SignKind::Match && x.payload == [phase, t64]);
+                        if may_match && !already_matched {
+                            wb.post(Sign::with_payload(me, SignKind::Match, vec![phase, t64]));
+                            true
+                        } else {
+                            false
+                        }
+                    })?;
+                    i_matched = i_matched || matched_here;
+                }
+                // 3. Declare my round complete and wait for the others.
+                cr.goto(my_home)?;
+                cr.post(SignKind::RoundDone, vec![phase, t64])?;
+                cr.barrier_visit(&s, SignKind::RoundDone, &[phase, t64])?;
+                // 4. Read the settled matching.
+                let mut p = Vec::new();
+                for &home in &w {
+                    let signs = cr.read_at(home)?;
+                    if !has_tag(&signs, SignKind::Match, phase, t64).is_empty() {
+                        p.push(home);
+                    }
+                }
+                debug_assert_eq!(p.len(), s.len(), "exactly |S| matches per round");
+                // 5. Update sets and my role.
+                let rest: Vec<usize> = w.iter().copied().filter(|h| !p.contains(h)).collect();
+                if round.swap {
+                    let old_s = std::mem::replace(&mut s, rest);
+                    w = old_s;
+                    role = Role::Waiting;
+                    cr.goto(my_home)?; // wait at home
+                } else {
+                    w = rest;
+                }
+                s.sort_unstable();
+                w.sort_unstable();
+            }
+            Role::Waiting => {
+                // Wait at home until all searchers have visited me.
+                cr.goto(my_home)?;
+                let need = round.s;
+                cr.ctx.wait_until(move |wb| {
+                    count_distinct_tagged(wb, SignKind::VisitDone, phase, t64) >= need
+                })?;
+                let signs = cr.ctx.read_board()?;
+                let matched = !has_tag(&signs, SignKind::Match, phase, t64).is_empty();
+                if matched {
+                    return Ok(ReduceExit::Passive);
+                }
+                if round.swap {
+                    // I become a searcher next round. Reconstruct the
+                    // settled sets: rounds < t are settled (round t ran);
+                    // wait out round t, then replay the history.
+                    // (a) Gather history of rounds 0..t over all
+                    //     original participants' homes.
+                    let participants: Vec<usize> = {
+                        let mut v = s0.clone();
+                        v.extend_from_slice(&w0);
+                        v.sort_unstable();
+                        v
+                    };
+                    let mut matched_at: Vec<(usize, u64)> = Vec::new();
+                    for &home in &participants {
+                        let signs = cr.read_at(home)?;
+                        for sgn in &signs {
+                            if sgn.kind == SignKind::Match && sgn.payload[0] == phase {
+                                matched_at.push((home, sgn.payload[1]));
+                            }
+                        }
+                    }
+                    let (s_t, w_t) = replay_sets(
+                        rounds,
+                        s0.clone(),
+                        w0.clone(),
+                        |h, r| matched_at.contains(&(h, r)),
+                        t,
+                    );
+                    debug_assert_eq!(s_t.len(), round.s);
+                    // (b) Wait for round t to settle.
+                    cr.barrier_visit(&s_t, SignKind::RoundDone, &[phase, t64])?;
+                    // (c) Read round-t matches and step to round t+1.
+                    let mut p = Vec::new();
+                    for &home in &w_t {
+                        let signs = cr.read_at(home)?;
+                        if !has_tag(&signs, SignKind::Match, phase, t64).is_empty() {
+                            p.push(home);
+                        }
+                    }
+                    s = w_t.into_iter().filter(|h| !p.contains(h)).collect();
+                    w = s_t;
+                    s.sort_unstable();
+                    w.sort_unstable();
+                    role = Role::Searching;
+                }
+                // No swap: stay waiting; only sizes matter to me and they
+                // come from the schedule.
+            }
+        }
+    }
+
+    // Rounds exhausted: |S| = |W|. S survives; W becomes passive.
+    match role {
+        Role::Searching => {
+            cr.goto(my_home)?;
+            Ok(ReduceExit::Active(s))
+        }
+        Role::Waiting => Ok(ReduceExit::Passive),
+    }
+}
+
+/// Run NODE-REDUCE for this agent.
+///
+/// * `actives0` — the agent homes active at phase entry (sorted).
+/// * `selected0` — the node class (sorted map nodes).
+pub fn node_reduce<C: MobileCtx>(
+    cr: &mut Courier<'_, C>,
+    phase: u64,
+    rounds: &[NodeRound],
+    actives0: Vec<usize>,
+    selected0: Vec<usize>,
+) -> Result<ReduceExit, Interrupt> {
+    let my_home = 0usize;
+    let mut actives = actives0;
+    let mut selected = selected0;
+
+    for (t, round) in rounds.iter().enumerate() {
+        let t64 = t as u64;
+        debug_assert_eq!(
+            (actives.len(), selected.len()),
+            (round.alpha, round.beta),
+            "schedule drift"
+        );
+        if round.agents_exceed_nodes {
+            // Case 1: each node absorbs q agents; acquirers go passive.
+            let q = round.q;
+            let mut acquirers: Vec<Color> = Vec::new();
+            let mut i_acquired = false;
+            for &node in &selected {
+                cr.goto(node)?;
+                let me = cr.me();
+                let outcome = cr.ctx.with_board(move |wb| {
+                    let mut colors: Vec<Color> = Vec::new();
+                    for s in wb.signs() {
+                        if s.kind == SignKind::Acquired
+                            && s.payload == [phase, t64]
+                            && !colors.contains(&s.color)
+                        {
+                            colors.push(s.color);
+                        }
+                    }
+                    if colors.len() < q {
+                        wb.post(Sign::with_payload(me, SignKind::Acquired, vec![phase, t64]));
+                        (true, colors)
+                    } else {
+                        (false, colors)
+                    }
+                })?;
+                let (took, others) = outcome;
+                if took {
+                    i_acquired = true;
+                    break;
+                }
+                for c in others {
+                    if !acquirers.contains(&c) {
+                        acquirers.push(c);
+                    }
+                }
+            }
+            if i_acquired {
+                // "Agents that have acquired a node become passive."
+                cr.goto(my_home)?;
+                return Ok(ReduceExit::Passive);
+            }
+            // Survivor: my sweep saw every node already full, so the
+            // round is settled and `acquirers` is complete (q·β colors).
+            debug_assert_eq!(acquirers.len(), q * round.beta);
+            let acquirer_homes: Vec<usize> = acquirers
+                .iter()
+                .filter_map(|&c| cr.map.home_of(c))
+                .collect();
+            actives.retain(|h| !acquirer_homes.contains(h));
+            actives.sort_unstable();
+            // Selection unchanged.
+        } else {
+            // Case 2: each agent acquires q nodes; acquired nodes leave
+            // the selection.
+            let q = round.q;
+            let mut mine = 0usize;
+            while mine < q {
+                let mut progressed = false;
+                for &node in &selected {
+                    if mine >= q {
+                        break;
+                    }
+                    cr.goto(node)?;
+                    let me = cr.me();
+                    let took = cr.ctx.with_board(move |wb| {
+                        let taken = wb
+                            .signs()
+                            .iter()
+                            .any(|s| s.kind == SignKind::Acquired && s.payload == [phase, t64]);
+                        if !taken {
+                            wb.post(Sign::with_payload(me, SignKind::Acquired, vec![phase, t64]));
+                            true
+                        } else {
+                            false
+                        }
+                    })?;
+                    if took {
+                        mine += 1;
+                        progressed = true;
+                    }
+                }
+                if mine < q && !progressed {
+                    // All currently free nodes were contended away this
+                    // sweep; capacity math (q·α < β) guarantees free
+                    // nodes exist once other agents cap out, so sweep
+                    // again. The runtime's step budget bounds pathology.
+                    continue;
+                }
+            }
+            // Declare my round done; wait for the other actives.
+            cr.goto(my_home)?;
+            cr.post(SignKind::RoundDone, vec![phase, 1000 + t64])?;
+            cr.barrier_visit(&actives, SignKind::RoundDone, &[phase, 1000 + t64])?;
+            // Read the settled acquisition to shrink the selection.
+            let mut still = Vec::new();
+            for &node in &selected {
+                let signs = cr.read_at(node)?;
+                let taken = signs
+                    .iter()
+                    .any(|s| s.kind == SignKind::Acquired && s.payload == [phase, t64]);
+                if !taken {
+                    still.push(node);
+                }
+            }
+            debug_assert_eq!(still.len(), round.rho);
+            selected = still;
+        }
+    }
+
+    cr.goto(my_home)?;
+    Ok(ReduceExit::Active(actives))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapdraw::map_drawing;
+    use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+    use qelect_agentsim::sched::Policy;
+    use qelect_agentsim::AgentOutcome;
+    use qelect_graph::{families, Bicolored};
+
+    #[test]
+    fn barrier_sweep_synchronizes_under_adversarial_policies() {
+        // Three agents map the ring, then run the paper-literal sweep
+        // barrier. Completion without deadlock under every policy is the
+        // barrier's liveness; the sign counts at every node witness that
+        // everyone swept everything.
+        let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 2, 3]).unwrap();
+        for policy in [Policy::Random, Policy::Lockstep, Policy::GreedyLowest] {
+            let mk = || -> GatedAgent {
+                Box::new(|ctx| {
+                    let map = map_drawing(ctx)?;
+                    let mut cr = Courier::new(ctx, map);
+                    cr.goto(0)?;
+                    cr.barrier_sweep(3, SignKind::Sync, &[77])?;
+                    Ok(AgentOutcome::Defeated)
+                })
+            };
+            let cfg = RunConfig { policy, ..RunConfig::default() };
+            let report = run_gated(&bc, cfg, vec![mk(), mk(), mk()]);
+            assert!(
+                report.interrupted.is_none(),
+                "{policy:?}: {:?}",
+                report.outcomes
+            );
+            // Each agent swept all 6 nodes: ≥ 18 sync posts happened and
+            // every sweep is bounded by 2(n−1) + routing moves.
+            assert!(report.metrics.total_moves() >= 3 * 5);
+        }
+    }
+
+    #[test]
+    fn barrier_styles_have_different_costs() {
+        // The ablation's kernel: visit-based barriers cost O(|X|·diam)
+        // moves, sweep-based ones O(n) — measure both on one instance.
+        let bc = Bicolored::new(families::cycle(8).unwrap(), &[0, 2, 5]).unwrap();
+        let run = |sweep: bool| -> u64 {
+            let mk = move || -> GatedAgent {
+                Box::new(move |ctx| {
+                    let map = map_drawing(ctx)?;
+                    let homes: Vec<usize> =
+                        map.homebases().iter().map(|&(v, _)| v).collect();
+                    let mut cr = Courier::new(ctx, map);
+                    cr.goto(0)?;
+                    if sweep {
+                        cr.barrier_sweep(3, SignKind::Sync, &[5])?;
+                    } else {
+                        cr.post(SignKind::Sync, vec![5])?;
+                        cr.barrier_visit(&homes, SignKind::Sync, &[5])?;
+                    }
+                    Ok(AgentOutcome::Defeated)
+                })
+            };
+            let report = run_gated(&bc, RunConfig::default(), vec![mk(), mk(), mk()]);
+            assert!(report.interrupted.is_none(), "{:?}", report.outcomes);
+            report.metrics.total_moves()
+        };
+        let visit_moves = run(false);
+        let sweep_moves = run(true);
+        // Both complete; with 3 agents on C8 the costs differ (the exact
+        // ordering depends on diam vs n — what matters is both are
+        // measured and finite).
+        assert!(visit_moves > 0 && sweep_moves > 0);
+        assert_ne!(visit_moves, sweep_moves);
+    }
+
+    #[test]
+    fn replay_matches_direct_simulation() {
+        use crate::schedule::agent_rounds;
+        // 3 searchers vs 7 waiting: rounds (3,7)→(3,4)→swap(1,3)… check
+        // replay against a hand-rolled forward simulation where matches
+        // are "the first |S| waiting homes".
+        let s0: Vec<usize> = vec![100, 101, 102];
+        let w0: Vec<usize> = (0..7).collect();
+        let rounds = agent_rounds(3, 7);
+        // Synthetic match record: in round t, the first s homes of the
+        // current W get matched. Build it by simulating forward.
+        let mut record: Vec<(usize, u64)> = Vec::new();
+        {
+            let (mut s, mut w) = (s0.clone(), w0.clone());
+            for (t, round) in rounds.iter().enumerate() {
+                let p: Vec<usize> = w.iter().copied().take(round.s).collect();
+                for &h in &p {
+                    record.push((h, t as u64));
+                }
+                let rest: Vec<usize> =
+                    w.iter().copied().filter(|h| !p.contains(h)).collect();
+                if round.swap {
+                    let old_s = std::mem::replace(&mut s, rest);
+                    w = old_s;
+                } else {
+                    w = rest;
+                }
+                s.sort_unstable();
+                w.sort_unstable();
+            }
+            assert_eq!(s.len(), w.len());
+            assert_eq!(s.len(), 1); // gcd(3,7) = 1
+        }
+        // Replay to every prefix and sanity-check sizes against the
+        // schedule.
+        for (t, round) in rounds.iter().enumerate() {
+            let (s, w) = replay_sets(
+                &rounds,
+                s0.clone(),
+                w0.clone(),
+                |h, r| record.contains(&(h, r)),
+                t,
+            );
+            assert_eq!(s.len(), round.s, "round {t}");
+            assert_eq!(w.len(), round.w, "round {t}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Automorphism-based equivalences of bi-colored instances.
+//!
+//! * Definition 2.1: `x ~ y` iff some *color-preserving* automorphism maps
+//!   `x` to `y` (ports ignored) — these orbits are the equivalence classes
+//!   `C_1, …, C_k` that protocol ELECT reduces over.
+//! * Definition 2.2: `x ~lab y` iff some *label-preserving* automorphism
+//!   (ports preserved at both extremities) maps `x` to `y` — the relation
+//!   behind the Theorem 2.1 impossibility condition.
+//! * Lemma 2.1: all `~lab` classes have the same size — verified here as a
+//!   checked runtime invariant and property-tested.
+
+use crate::bicolored::Bicolored;
+use crate::canon::{canonicalize, CanonResult};
+use crate::digraph::ColoredDigraph;
+use crate::refine::Partition;
+
+/// Orbits of the color-preserving automorphism group (Definition 2.1).
+///
+/// Returns the orbit partition over nodes: `x ~ y` iff same class.
+pub fn node_equivalence(bc: &Bicolored) -> Partition {
+    let d = ColoredDigraph::from_bicolored(bc);
+    let r = canonicalize(&d);
+    Partition { class: r.orbits.clone(), k: r.orbit_count }
+}
+
+/// Full canonicalization result for the color-preserving structure
+/// (exposes generators for tests and diagnostics).
+pub fn node_equivalence_full(bc: &Bicolored) -> CanonResult {
+    canonicalize(&ColoredDigraph::from_bicolored(bc))
+}
+
+/// Orbits of the label-preserving automorphism group (Definition 2.2),
+/// computed for the port labeling the graph currently carries.
+pub fn label_equivalence(bc: &Bicolored) -> Partition {
+    let d = ColoredDigraph::from_port_labeled(bc);
+    let r = canonicalize(&d);
+    Partition { class: r.orbits.clone(), k: r.orbit_count }
+}
+
+/// Lemma 2.1: every `~lab` class has the same size. Returns that common
+/// size, or `Err` with the offending sizes if the lemma were ever violated
+/// (it cannot be, for valid port labelings; the check documents and
+/// enforces the invariant).
+pub fn lab_class_common_size(bc: &Bicolored) -> Result<usize, Vec<usize>> {
+    let part = label_equivalence(bc);
+    let sizes = part.sizes();
+    let first = sizes[0];
+    if sizes.iter().all(|&s| s == first) {
+        Ok(first)
+    } else {
+        Err(sizes)
+    }
+}
+
+/// `x ~lab y ⇒ x ~ y` (label-preserving automorphisms are in particular
+/// color-preserving). Diagnostic helper returning whether the label
+/// partition refines the node partition, used by property tests.
+pub fn lab_refines_node_equivalence(bc: &Bicolored) -> bool {
+    let lab = label_equivalence(bc);
+    let node = node_equivalence(bc);
+    // Every ~lab class must lie inside a single ~ class.
+    let mut rep: Vec<Option<u32>> = vec![None; lab.k];
+    for v in 0..bc.n() {
+        let lc = lab.class[v] as usize;
+        match rep[lc] {
+            None => rep[lc] = Some(node.class[v]),
+            Some(c) => {
+                if c != node.class[v] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::graph::{GraphBuilder, Port};
+
+    #[test]
+    fn cycle_uncolored_is_single_class() {
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        let p = node_equivalence(&bc);
+        assert_eq!(p.k, 1);
+    }
+
+    #[test]
+    fn cycle_with_antipodal_agents_splits_by_distance() {
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[0, 3]).unwrap();
+        let p = node_equivalence(&bc);
+        // Classes: {0,3} black, {1,2,4,5} white.
+        assert_eq!(p.k, 2);
+        assert_eq!(p.class[0], p.class[3]);
+        assert_eq!(p.class[1], p.class[2]);
+        assert_eq!(p.class[1], p.class[4]);
+        assert_ne!(p.class[0], p.class[1]);
+    }
+
+    #[test]
+    fn path_end_agent_breaks_symmetry() {
+        let g = families::path(4).unwrap();
+        let bc = Bicolored::new(g, &[0]).unwrap();
+        let p = node_equivalence(&bc);
+        assert_eq!(p.k, 4); // fully asymmetric once one end is marked
+    }
+
+    #[test]
+    fn label_equivalence_depends_on_ports() {
+        // K2 with symmetric ports: both nodes label-equivalent.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_with_ports(0, 1, Port(0), Port(0)).unwrap();
+        let g = b.finish().unwrap();
+        let bc = Bicolored::new(g, &[0, 1]).unwrap();
+        assert_eq!(lab_class_common_size(&bc).unwrap(), 2);
+
+        // K2 with asymmetric ports: classes become singletons.
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_with_ports(0, 1, Port(0), Port(1)).unwrap();
+        let g = b.finish().unwrap();
+        let bc = Bicolored::new(g, &[0, 1]).unwrap();
+        assert_eq!(lab_class_common_size(&bc).unwrap(), 1);
+    }
+
+    #[test]
+    fn lemma_2_1_on_uniform_cycles() {
+        // Rotation-invariant labeling of C6: classes of size 6 (no agents).
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        let size = lab_class_common_size(&bc).unwrap();
+        assert_eq!(size, 6);
+    }
+
+    #[test]
+    fn lab_refines_node_on_families() {
+        for bc in [
+            Bicolored::new(families::cycle(5).unwrap(), &[0]).unwrap(),
+            Bicolored::new(families::hypercube(3).unwrap(), &[0, 7]).unwrap(),
+            Bicolored::new(families::petersen().unwrap(), &[0, 2]).unwrap(),
+        ] {
+            assert!(lab_refines_node_equivalence(&bc));
+        }
+    }
+
+    #[test]
+    fn agents_make_classes_finer() {
+        let g = families::hypercube(3).unwrap();
+        let none = node_equivalence(&Bicolored::new(g.clone(), &[]).unwrap());
+        let some = node_equivalence(&Bicolored::new(g, &[0]).unwrap());
+        assert_eq!(none.k, 1);
+        assert!(some.k > 1);
+    }
+}

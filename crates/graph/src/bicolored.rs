@@ -1,0 +1,160 @@
+//! Bi-colored instances `(G, p)`.
+//!
+//! An input to the election problem is a network `G` together with an
+//! injective placement `p : A → V(G)` of agents. The placement induces a
+//! black/white coloring of the nodes: black = home-base of some agent,
+//! white = initially empty (Section 2 of the paper). All morphisms
+//! considered by the theory must preserve this coloring.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId};
+
+/// A bi-colored instance: graph plus home-base set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bicolored {
+    graph: Graph,
+    /// `black[v]` iff `v` is a home-base.
+    black: Vec<bool>,
+    /// Sorted list of home-bases.
+    homebases: Vec<NodeId>,
+}
+
+impl Bicolored {
+    /// Build an instance from a graph and a list of home-bases.
+    ///
+    /// The home-base list must contain pairwise-distinct in-range nodes
+    /// (the paper assumes at most one agent per node initially).
+    pub fn new(graph: Graph, homebases: &[NodeId]) -> Result<Self, GraphError> {
+        let mut black = vec![false; graph.n()];
+        let mut hb = homebases.to_vec();
+        hb.sort_unstable();
+        for w in hb.windows(2) {
+            if w[0] == w[1] {
+                return Err(GraphError::BadPlacement(format!(
+                    "node {} hosts two agents",
+                    w[0]
+                )));
+            }
+        }
+        for &v in &hb {
+            if v >= graph.n() {
+                return Err(GraphError::BadPlacement(format!(
+                    "home-base {} out of range (n = {})",
+                    v,
+                    graph.n()
+                )));
+            }
+            black[v] = true;
+        }
+        Ok(Bicolored { graph, black, homebases: hb })
+    }
+
+    /// The underlying network.
+    #[inline]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of agents `r`.
+    #[inline]
+    pub fn r(&self) -> usize {
+        self.homebases.len()
+    }
+
+    /// Whether `v` is a home-base (black).
+    #[inline]
+    pub fn is_black(&self, v: NodeId) -> bool {
+        self.black[v]
+    }
+
+    /// The sorted home-base list.
+    #[inline]
+    pub fn homebases(&self) -> &[NodeId] {
+        &self.homebases
+    }
+
+    /// Node colors as `0 = white, 1 = black` (the refinement engines use
+    /// `u64` node colors).
+    pub fn node_colors(&self) -> Vec<u64> {
+        self.black.iter().map(|&b| u64::from(b)).collect()
+    }
+
+    /// Enumerate all placements of exactly `r` agents on this graph
+    /// (combinations of nodes), as fresh instances. Exponential — intended
+    /// for exhaustive checks on small graphs.
+    pub fn all_placements(graph: &Graph, r: usize) -> Vec<Bicolored> {
+        let n = graph.n();
+        let mut out = Vec::new();
+        let mut choice: Vec<NodeId> = Vec::with_capacity(r);
+        fn rec(
+            graph: &Graph,
+            n: usize,
+            r: usize,
+            start: usize,
+            choice: &mut Vec<NodeId>,
+            out: &mut Vec<Bicolored>,
+        ) {
+            if choice.len() == r {
+                out.push(Bicolored::new(graph.clone(), choice).expect("valid placement"));
+                return;
+            }
+            let need = r - choice.len();
+            for v in start..=(n.saturating_sub(need)) {
+                choice.push(v);
+                rec(graph, n, r, v + 1, choice, out);
+                choice.pop();
+            }
+        }
+        rec(graph, n, r, 0, &mut choice, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path3() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn placement_basics() {
+        let bc = Bicolored::new(path3(), &[2, 0]).unwrap();
+        assert_eq!(bc.r(), 2);
+        assert!(bc.is_black(0));
+        assert!(!bc.is_black(1));
+        assert!(bc.is_black(2));
+        assert_eq!(bc.homebases(), &[0, 2]);
+        assert_eq!(bc.node_colors(), vec![1, 0, 1]);
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        assert!(Bicolored::new(path3(), &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_placement_rejected() {
+        assert!(Bicolored::new(path3(), &[7]).is_err());
+    }
+
+    #[test]
+    fn all_placements_counts_combinations() {
+        let g = path3();
+        assert_eq!(Bicolored::all_placements(&g, 0).len(), 1);
+        assert_eq!(Bicolored::all_placements(&g, 1).len(), 3);
+        assert_eq!(Bicolored::all_placements(&g, 2).len(), 3);
+        assert_eq!(Bicolored::all_placements(&g, 3).len(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Colored digraphs: the common structure behind canonical forms.
+//!
+//! Lemma 3.1 of the paper orders *bi-colored digraphs* (the surroundings
+//! `S(u)` of Definition 3.1); Definition 2.2 needs *label-preserving*
+//! automorphisms of port-labeled graphs; Definition 2.1 needs plain
+//! color-preserving automorphisms. All three reduce to one object: a
+//! directed graph with `u64` node colors and `u64` arc colors.
+//!
+//! * plain bi-colored graph  → node colors = black/white, every undirected
+//!   edge becomes two arcs of color `0`;
+//! * port-labeled graph      → arcs colored by the port label *at the tail*
+//!   (a label-preserving automorphism must preserve `l_x(e)`, i.e. the
+//!   tail-port of every arc);
+//! * surrounding `S(u)`      → exactly the arcs of Definition 3.1.
+//!
+//! The canonicalization and automorphism machinery in [`crate::canon`] and
+//! [`crate::automorphism`] operates on this type.
+
+use std::collections::BTreeSet;
+
+/// A directed arc with a color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Arc {
+    /// Tail node.
+    pub from: u32,
+    /// Head node.
+    pub to: u32,
+    /// Arc color (port label, direction marker, … — any `u64`).
+    pub color: u64,
+}
+
+/// A node- and arc-colored directed multigraph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColoredDigraph {
+    n: usize,
+    node_colors: Vec<u64>,
+    arcs: Vec<Arc>,
+    /// Outgoing arcs per node (indices into `arcs`), sorted.
+    out: Vec<Vec<u32>>,
+    /// Incoming arcs per node (indices into `arcs`), sorted.
+    inc: Vec<Vec<u32>>,
+}
+
+impl ColoredDigraph {
+    /// Build a digraph from node colors and arcs.
+    ///
+    /// Duplicate arcs are permitted (multi-digraph). Panics if an arc
+    /// references a node out of range.
+    pub fn new(node_colors: Vec<u64>, mut arcs: Vec<Arc>) -> Self {
+        let n = node_colors.len();
+        arcs.sort_unstable();
+        let mut out = vec![Vec::new(); n];
+        let mut inc = vec![Vec::new(); n];
+        for (i, a) in arcs.iter().enumerate() {
+            assert!((a.from as usize) < n && (a.to as usize) < n, "arc out of range");
+            out[a.from as usize].push(i as u32);
+            inc[a.to as usize].push(i as u32);
+        }
+        ColoredDigraph { n, node_colors, arcs, out, inc }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// All arcs, sorted by `(from, to, color)`.
+    #[inline]
+    pub fn arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
+    /// The color of node `v`.
+    #[inline]
+    pub fn node_color(&self, v: usize) -> u64 {
+        self.node_colors[v]
+    }
+
+    /// All node colors.
+    #[inline]
+    pub fn node_colors(&self) -> &[u64] {
+        &self.node_colors
+    }
+
+    /// Outgoing arcs of `v`.
+    pub fn out_arcs(&self, v: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.out[v].iter().map(move |&i| &self.arcs[i as usize])
+    }
+
+    /// Incoming arcs of `v`.
+    pub fn in_arcs(&self, v: usize) -> impl Iterator<Item = &Arc> + '_ {
+        self.inc[v].iter().map(move |&i| &self.arcs[i as usize])
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.inc[v].len()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: usize) -> usize {
+        self.out[v].len()
+    }
+
+    /// Check whether `perm` (as a mapping `v → perm[v]`) is an automorphism:
+    /// it must preserve node colors and map the arc multiset onto itself.
+    pub fn is_automorphism(&self, perm: &[usize]) -> bool {
+        if perm.len() != self.n {
+            return false;
+        }
+        // Bijectivity.
+        let mut seen = vec![false; self.n];
+        for &img in perm {
+            if img >= self.n || seen[img] {
+                return false;
+            }
+            seen[img] = true;
+        }
+        for v in 0..self.n {
+            if self.node_colors[v] != self.node_colors[perm[v]] {
+                return false;
+            }
+        }
+        let mut mapped: Vec<Arc> = self
+            .arcs
+            .iter()
+            .map(|a| Arc {
+                from: perm[a.from as usize] as u32,
+                to: perm[a.to as usize] as u32,
+                color: a.color,
+            })
+            .collect();
+        mapped.sort_unstable();
+        mapped == self.arcs
+    }
+
+    /// Apply a relabeling: node `v` of the result is node `perm_inv[v]` of
+    /// `self`; i.e. `perm[v]` is the new name of old node `v`.
+    pub fn relabel(&self, perm: &[usize]) -> ColoredDigraph {
+        let mut colors = vec![0u64; self.n];
+        for v in 0..self.n {
+            colors[perm[v]] = self.node_colors[v];
+        }
+        let arcs = self
+            .arcs
+            .iter()
+            .map(|a| Arc {
+                from: perm[a.from as usize] as u32,
+                to: perm[a.to as usize] as u32,
+                color: a.color,
+            })
+            .collect();
+        ColoredDigraph::new(colors, arcs)
+    }
+
+    /// The distinct arc colors present.
+    pub fn arc_color_set(&self) -> BTreeSet<u64> {
+        self.arcs.iter().map(|a| a.color).collect()
+    }
+
+    /// Build the symmetric (two arcs per edge, color 0) digraph of a plain
+    /// bi-colored graph — the structure whose automorphisms are exactly the
+    /// color-preserving automorphisms of Definition 2.1.
+    pub fn from_bicolored(bc: &crate::bicolored::Bicolored) -> ColoredDigraph {
+        let g = bc.graph();
+        let mut arcs = Vec::with_capacity(2 * g.m());
+        for e in g.edges() {
+            arcs.push(Arc { from: e.u as u32, to: e.v as u32, color: 0 });
+            arcs.push(Arc { from: e.v as u32, to: e.u as u32, color: 0 });
+        }
+        ColoredDigraph::new(bc.node_colors(), arcs)
+    }
+
+    /// Build the *port-colored* digraph of a bi-colored graph: each
+    /// undirected edge `{x, y}` becomes the arc `x → y` colored `l_x(e)`
+    /// plus the arc `y → x` colored `l_y(e)`. Its automorphisms are exactly
+    /// the label-preserving automorphisms of Definition 2.2.
+    pub fn from_port_labeled(bc: &crate::bicolored::Bicolored) -> ColoredDigraph {
+        let g = bc.graph();
+        let mut arcs = Vec::with_capacity(2 * g.m());
+        for e in g.edges() {
+            arcs.push(Arc { from: e.u as u32, to: e.v as u32, color: u64::from(e.pu.0) });
+            arcs.push(Arc { from: e.v as u32, to: e.u as u32, color: u64::from(e.pv.0) });
+        }
+        ColoredDigraph::new(bc.node_colors(), arcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicolored::Bicolored;
+    use crate::graph::GraphBuilder;
+
+    fn two_cycle() -> ColoredDigraph {
+        ColoredDigraph::new(
+            vec![0, 0],
+            vec![Arc { from: 0, to: 1, color: 0 }, Arc { from: 1, to: 0, color: 0 }],
+        )
+    }
+
+    #[test]
+    fn basic_degrees() {
+        let d = two_cycle();
+        assert_eq!(d.n(), 2);
+        assert_eq!(d.out_degree(0), 1);
+        assert_eq!(d.in_degree(0), 1);
+    }
+
+    #[test]
+    fn swap_is_automorphism_of_symmetric_pair() {
+        let d = two_cycle();
+        assert!(d.is_automorphism(&[1, 0]));
+        assert!(d.is_automorphism(&[0, 1]));
+    }
+
+    #[test]
+    fn node_colors_break_automorphism() {
+        let d = ColoredDigraph::new(
+            vec![0, 1],
+            vec![Arc { from: 0, to: 1, color: 0 }, Arc { from: 1, to: 0, color: 0 }],
+        );
+        assert!(!d.is_automorphism(&[1, 0]));
+        assert!(d.is_automorphism(&[0, 1]));
+    }
+
+    #[test]
+    fn arc_colors_break_automorphism() {
+        let d = ColoredDigraph::new(
+            vec![0, 0],
+            vec![Arc { from: 0, to: 1, color: 5 }, Arc { from: 1, to: 0, color: 7 }],
+        );
+        assert!(!d.is_automorphism(&[1, 0]));
+    }
+
+    #[test]
+    fn relabel_then_check_iso() {
+        let d = ColoredDigraph::new(
+            vec![3, 4, 5],
+            vec![
+                Arc { from: 0, to: 1, color: 1 },
+                Arc { from: 1, to: 2, color: 2 },
+            ],
+        );
+        let r = d.relabel(&[2, 0, 1]);
+        assert_eq!(r.node_color(2), 3);
+        assert_eq!(r.node_color(0), 4);
+        assert!(r.arcs().contains(&Arc { from: 2, to: 0, color: 1 }));
+    }
+
+    #[test]
+    fn from_port_labeled_encodes_tail_ports() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap(); // ports 0/0
+        let g = b.finish().unwrap();
+        let bc = Bicolored::new(g, &[0]).unwrap();
+        let d = ColoredDigraph::from_port_labeled(&bc);
+        assert_eq!(d.arc_count(), 2);
+        assert_eq!(d.node_color(0), 1);
+        assert_eq!(d.node_color(1), 0);
+    }
+}

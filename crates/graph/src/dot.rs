@@ -1,0 +1,110 @@
+//! Graphviz DOT export for instances and class structures.
+//!
+//! Handy for inspecting the counterexamples: home-bases render black,
+//! equivalence classes get distinct fill colors, and edges carry their
+//! two port labels.
+
+use crate::bicolored::Bicolored;
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Render the bare graph.
+pub fn graph_to_dot(g: &Graph) -> String {
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for v in 0..g.n() {
+        let _ = writeln!(out, "  n{v};");
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [taillabel=\"{}\", headlabel=\"{}\"];",
+            e.u, e.v, e.pu.0, e.pv.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an instance: home-bases are filled black.
+pub fn instance_to_dot(bc: &Bicolored) -> String {
+    let g = bc.graph();
+    let mut out = String::from("graph G {\n  node [shape=circle];\n");
+    for v in 0..g.n() {
+        if bc.is_black(v) {
+            let _ = writeln!(
+                out,
+                "  n{v} [style=filled, fillcolor=black, fontcolor=white];"
+            );
+        } else {
+            let _ = writeln!(out, "  n{v};");
+        }
+    }
+    for e in g.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -- n{} [taillabel=\"{}\", headlabel=\"{}\"];",
+            e.u, e.v, e.pu.0, e.pv.0
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render an instance with its equivalence classes as fill colors (the
+/// Fig. 5-style view: black / gray / white on the Petersen graph).
+pub fn classes_to_dot(bc: &Bicolored) -> String {
+    let classes = crate::surrounding::ordered_classes(bc);
+    let palette = [
+        "black", "gray60", "white", "lightblue", "lightpink", "palegreen",
+        "khaki", "orange", "plum", "turquoise",
+    ];
+    let g = bc.graph();
+    let mut out = String::from("graph G {\n  node [shape=circle, style=filled];\n");
+    for v in 0..g.n() {
+        let c = classes.class_of(v);
+        let fill = palette[c % palette.len()];
+        let font = if fill == "black" { "white" } else { "black" };
+        let _ = writeln!(
+            out,
+            "  n{v} [fillcolor={fill}, fontcolor={font}, label=\"{v}\\nC{}\"];",
+            c + 1
+        );
+    }
+    for e in g.edges() {
+        let _ = writeln!(out, "  n{} -- n{};", e.u, e.v);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn graph_dot_mentions_every_edge() {
+        let g = families::cycle(4).unwrap();
+        let dot = graph_to_dot(&g);
+        assert_eq!(dot.matches(" -- ").count(), 4);
+        assert!(dot.starts_with("graph G {"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn instance_dot_marks_homebases() {
+        let bc = Bicolored::new(families::cycle(4).unwrap(), &[1, 3]).unwrap();
+        let dot = instance_to_dot(&bc);
+        assert_eq!(dot.matches("fillcolor=black").count(), 2);
+    }
+
+    #[test]
+    fn classes_dot_colors_petersen_three_ways() {
+        let bc = Bicolored::new(families::petersen().unwrap(), &[0, 1]).unwrap();
+        let dot = classes_to_dot(&bc);
+        assert!(dot.contains("C1"));
+        assert!(dot.contains("C2"));
+        assert!(dot.contains("C3"));
+        assert!(!dot.contains("C4"), "Petersen pair has exactly 3 classes");
+    }
+}

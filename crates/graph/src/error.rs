@@ -1,0 +1,60 @@
+//! Error type for graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating anonymous networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A node index was out of range.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The number of nodes in the graph.
+        n: usize,
+    },
+    /// Two incidences at the same node carry the same port label.
+    DuplicatePort {
+        /// The node at which the clash occurs.
+        node: usize,
+        /// The clashing port value.
+        port: u32,
+    },
+    /// The graph is not connected (the paper assumes connectivity
+    /// throughout).
+    Disconnected,
+    /// The graph has no nodes.
+    Empty,
+    /// A placement referenced a node twice or out of range.
+    BadPlacement(String),
+    /// A port lookup failed (no incidence with that port at the node).
+    NoSuchPort {
+        /// The node searched.
+        node: usize,
+        /// The missing port value.
+        port: u32,
+    },
+    /// A family constructor was given invalid parameters.
+    BadParameter(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range (graph has {n} nodes)")
+            }
+            GraphError::DuplicatePort { node, port } => {
+                write!(f, "duplicate port label {port} at node {node}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::BadPlacement(msg) => write!(f, "bad placement: {msg}"),
+            GraphError::NoSuchPort { node, port } => {
+                write!(f, "no incidence with port {port} at node {node}")
+            }
+            GraphError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

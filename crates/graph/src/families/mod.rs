@@ -1,0 +1,95 @@
+//! Generators for the graph families the paper discusses.
+//!
+//! Cayley graphs “include most of the usual models for structured
+//! interconnection networks: complete graphs, cycles, hypercubes,
+//! multi-dimensional toroidal meshes, Cube-Connected-Cycles, wrapped
+//! Butterflies, Star-graphs, circulant graphs” (Section 1.3). All of
+//! these are constructed here with deterministic canonical port
+//! assignments, alongside the non-Cayley protagonists (the Petersen
+//! graph of Fig. 5), plain trees/paths, random graphs, and the Fig. 2(c)
+//! gadget.
+//!
+//! Group-aware constructions (Cayley graphs with their translation
+//! groups attached) live in `qelect-group`; the functions here produce
+//! the same underlying port-labeled graphs when a group is not needed.
+
+mod basic;
+mod network;
+mod product;
+mod random;
+mod special;
+
+pub use basic::{binary_tree, complete, complete_bipartite, cycle, grid, path, star};
+pub use network::{circulant, cube_connected_cycles, star_graph, wrapped_butterfly};
+pub use product::{hypercube, torus};
+pub use random::random_connected;
+pub use special::{fig2c_gadget, generalized_petersen, petersen};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path(5).unwrap().n(), 5);
+        assert_eq!(cycle(7).unwrap().m(), 7);
+        assert_eq!(complete(5).unwrap().m(), 10);
+        assert_eq!(hypercube(4).unwrap().n(), 16);
+        assert_eq!(torus(&[3, 4]).unwrap().n(), 12);
+        assert_eq!(cube_connected_cycles(3).unwrap().n(), 24);
+        assert_eq!(wrapped_butterfly(3).unwrap().n(), 24);
+        assert_eq!(star_graph(3).unwrap().n(), 6);
+        assert_eq!(circulant(8, &[1, 3]).unwrap().n(), 8);
+        assert_eq!(petersen().unwrap().n(), 10);
+        assert_eq!(generalized_petersen(5, 2).unwrap().n(), 10);
+        assert_eq!(star(6).unwrap().n(), 7);
+        assert_eq!(grid(3, 4).unwrap().n(), 12);
+        assert_eq!(binary_tree(3).unwrap().n(), 15);
+    }
+
+    #[test]
+    fn regular_families_are_regular() {
+        assert_eq!(cycle(9).unwrap().is_regular(), Some(2));
+        assert_eq!(complete(6).unwrap().is_regular(), Some(5));
+        assert_eq!(hypercube(3).unwrap().is_regular(), Some(3));
+        assert_eq!(torus(&[3, 3]).unwrap().is_regular(), Some(4));
+        assert_eq!(cube_connected_cycles(3).unwrap().is_regular(), Some(3));
+        assert_eq!(wrapped_butterfly(3).unwrap().is_regular(), Some(4));
+        assert_eq!(star_graph(4).unwrap().is_regular(), Some(3));
+        assert_eq!(circulant(10, &[2, 5]).unwrap().is_regular(), Some(3));
+        assert_eq!(petersen().unwrap().is_regular(), Some(3));
+    }
+
+    #[test]
+    fn all_families_connected_and_simple() {
+        let graphs = vec![
+            path(4).unwrap(),
+            cycle(5).unwrap(),
+            complete(4).unwrap(),
+            hypercube(3).unwrap(),
+            torus(&[3, 4]).unwrap(),
+            cube_connected_cycles(3).unwrap(),
+            wrapped_butterfly(3).unwrap(),
+            star_graph(4).unwrap(),
+            circulant(9, &[1, 2]).unwrap(),
+            petersen().unwrap(),
+            star(5).unwrap(),
+            grid(2, 3).unwrap(),
+            binary_tree(2).unwrap(),
+        ];
+        for g in graphs {
+            assert!(g.is_connected());
+            assert!(g.is_simple());
+        }
+    }
+
+    #[test]
+    fn vertex_transitive_families() {
+        assert!(cycle(6).unwrap().is_vertex_transitive());
+        assert!(complete(5).unwrap().is_vertex_transitive());
+        assert!(hypercube(3).unwrap().is_vertex_transitive());
+        assert!(petersen().unwrap().is_vertex_transitive());
+        assert!(!path(4).unwrap().is_vertex_transitive());
+        assert!(!star(4).unwrap().is_vertex_transitive());
+    }
+}

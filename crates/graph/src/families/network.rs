@@ -1,0 +1,235 @@
+//! Interconnection-network families: circulants, cube-connected cycles,
+//! wrapped butterflies, star graphs — all Cayley graphs, all built with
+//! their translation-invariant port labelings (the hardest case for an
+//! election protocol, since the labeling exposes no asymmetry).
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Port};
+use std::collections::HashMap;
+
+/// The circulant graph `C_n(S) = Cay(Z_n, ±S)` for a set of offsets
+/// `S ⊆ {1, …, ⌊n/2⌋}`.
+///
+/// Ports are translation-invariant: offsets are processed in increasing
+/// order; a non-involutive offset `s` (i.e. `2s ≠ n`) consumes two port
+/// indices (`+s` then `−s`), an involutive one consumes a single index.
+pub fn circulant(n: usize, offsets: &[usize]) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::BadParameter("circulant needs n >= 3".into()));
+    }
+    let mut offs = offsets.to_vec();
+    offs.sort_unstable();
+    offs.dedup();
+    if offs.len() != offsets.len() {
+        return Err(GraphError::BadParameter("duplicate offsets".into()));
+    }
+    if offs.iter().any(|&s| s == 0 || s > n / 2) {
+        return Err(GraphError::BadParameter(
+            "offsets must satisfy 1 <= s <= n/2".into(),
+        ));
+    }
+    // Assign port indices per offset.
+    let mut plus_port = HashMap::new();
+    let mut minus_port = HashMap::new();
+    let mut next = 0u32;
+    for &s in &offs {
+        if 2 * s == n {
+            plus_port.insert(s, next);
+            minus_port.insert(s, next);
+            next += 1;
+        } else {
+            plus_port.insert(s, next);
+            minus_port.insert(s, next + 1);
+            next += 2;
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for &s in &offs {
+            let w = (v + s) % n;
+            if 2 * s == n {
+                // Involutive offset: add the edge once, from the smaller id.
+                if v < w {
+                    b.add_edge_with_ports(v, w, Port(plus_port[&s]), Port(plus_port[&s]))?;
+                }
+            } else {
+                // Add each +s edge from its tail; the head sees it as −s.
+                b.add_edge_with_ports(v, w, Port(plus_port[&s]), Port(minus_port[&s]))?;
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The cube-connected-cycles network `CCC(d)`, `d ≥ 3`: hypercube corners
+/// replaced by `d`-cycles. Node `(w, i)` for `w ∈ Z_2^d`, `i ∈ Z_d`;
+/// cycle edges `(w,i)−(w,i±1)` and rung edges `(w,i)−(w ⊕ 2^i, i)`.
+///
+/// Ports: 0 = next on the little cycle, 1 = previous, 2 = rung.
+pub fn cube_connected_cycles(d: usize) -> Result<Graph, GraphError> {
+    if !(3..=16).contains(&d) {
+        return Err(GraphError::BadParameter("CCC needs 3 <= d <= 16".into()));
+    }
+    let n = d << d;
+    let id = |w: usize, i: usize| w * d + i;
+    let mut b = GraphBuilder::new(n);
+    for w in 0..(1usize << d) {
+        for i in 0..d {
+            // Cycle edge to (w, i+1).
+            let j = (i + 1) % d;
+            b.add_edge_with_ports(id(w, i), id(w, j), Port(0), Port(1))?;
+            // Rung edge, added once from the side with the 0 bit.
+            if w & (1 << i) == 0 {
+                b.add_edge_with_ports(id(w, i), id(w ^ (1 << i), i), Port(2), Port(2))?;
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The wrapped butterfly `WBF(d)`, `d ≥ 3`: nodes `(w, i)` with
+/// `w ∈ Z_2^d`, level `i ∈ Z_d`; straight edges `(w,i)−(w,i+1)` and cross
+/// edges `(w,i)−(w ⊕ 2^i, i+1)` (levels mod `d`). 4-regular on `d·2^d`
+/// nodes.
+///
+/// Ports: 0 = straight up, 1 = cross up, 2 = straight down, 3 = cross
+/// down.
+pub fn wrapped_butterfly(d: usize) -> Result<Graph, GraphError> {
+    if !(3..=16).contains(&d) {
+        return Err(GraphError::BadParameter(
+            "wrapped butterfly needs 3 <= d <= 16".into(),
+        ));
+    }
+    let n = d << d;
+    let id = |w: usize, i: usize| w * d + i;
+    let mut b = GraphBuilder::new(n);
+    for w in 0..(1usize << d) {
+        for i in 0..d {
+            let j = (i + 1) % d;
+            b.add_edge_with_ports(id(w, i), id(w, j), Port(0), Port(2))?;
+            b.add_edge_with_ports(id(w, i), id(w ^ (1 << i), j), Port(1), Port(3))?;
+        }
+    }
+    b.finish()
+}
+
+/// All permutations of `0..k` in lexicographic order.
+pub(crate) fn lex_permutations(k: usize) -> Vec<Vec<u8>> {
+    let mut cur: Vec<u8> = (0..k as u8).collect();
+    let mut out = vec![cur.clone()];
+    // next_permutation loop.
+    loop {
+        // Find the longest non-increasing suffix.
+        let mut i = k.wrapping_sub(1);
+        while i > 0 && cur[i - 1] >= cur[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        let mut j = k - 1;
+        while cur[j] <= cur[i - 1] {
+            j -= 1;
+        }
+        cur.swap(i - 1, j);
+        cur[i..].reverse();
+        out.push(cur.clone());
+    }
+    out
+}
+
+/// The star graph `S_k = Cay(Sym(k), {(0 1), (0 2), …, (0 k−1)})`,
+/// `3 ≤ k ≤ 7`: nodes are permutations of `0..k`; the edge with port
+/// `i−1` swaps positions `0` and `i`. `(k−1)`-regular on `k!` nodes.
+pub fn star_graph(k: usize) -> Result<Graph, GraphError> {
+    if !(3..=7).contains(&k) {
+        return Err(GraphError::BadParameter("star graph needs 3 <= k <= 7".into()));
+    }
+    let perms = lex_permutations(k);
+    let index: HashMap<Vec<u8>, usize> =
+        perms.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
+    let mut b = GraphBuilder::new(perms.len());
+    for (v, p) in perms.iter().enumerate() {
+        for i in 1..k {
+            let mut q = p.clone();
+            q.swap(0, i);
+            let w = index[&q];
+            if v < w {
+                // Swapping (0, i) is an involution, so both endpoints see
+                // the edge through the same port index i−1.
+                b.add_edge_with_ports(v, w, Port((i - 1) as u32), Port((i - 1) as u32))?;
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circulant_with_involutive_offset() {
+        // C_6(1, 3): 3-regular (two ports for ±1, one for the diameter 3).
+        let g = circulant(6, &[1, 3]).unwrap();
+        assert_eq!(g.is_regular(), Some(3));
+        assert_eq!(g.m(), 9);
+        assert_eq!(g.move_along(0, Port(2)).unwrap().0, 3);
+    }
+
+    #[test]
+    fn circulant_rejects_bad_offsets() {
+        assert!(circulant(6, &[0]).is_err());
+        assert!(circulant(6, &[4]).is_err());
+        assert!(circulant(6, &[1, 1]).is_err());
+    }
+
+    #[test]
+    fn circulant_matches_cycle() {
+        let c = circulant(7, &[1]).unwrap();
+        assert_eq!(c.is_regular(), Some(2));
+        assert_eq!(c.diameter(), 3);
+    }
+
+    #[test]
+    fn ccc_structure() {
+        let g = cube_connected_cycles(3).unwrap();
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.is_regular(), Some(3));
+        assert!(g.is_vertex_transitive());
+    }
+
+    #[test]
+    fn wbf_structure() {
+        let g = wrapped_butterfly(3).unwrap();
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.is_regular(), Some(4));
+    }
+
+    #[test]
+    fn star_graph_s3_is_c6() {
+        // S_3 is a 6-cycle.
+        let g = star_graph(3).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.is_regular(), Some(2));
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn star_graph_s4() {
+        let g = star_graph(4).unwrap();
+        assert_eq!(g.n(), 24);
+        assert_eq!(g.is_regular(), Some(3));
+        // Star graphs are bipartite (every generator is a transposition):
+        // girth is 6, so no triangles.
+        assert!(g.is_simple());
+    }
+
+    #[test]
+    fn lex_permutations_count_and_order() {
+        let p3 = lex_permutations(3);
+        assert_eq!(p3.len(), 6);
+        assert_eq!(p3[0], vec![0, 1, 2]);
+        assert_eq!(p3[5], vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Random connected graphs (Erdős–Rényi conditioned on connectivity via
+//! a random spanning tree backbone).
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random connected simple graph on `n` nodes: a uniform random
+/// recursive spanning tree guarantees connectivity, and every remaining
+/// pair is added independently with probability `p`.
+///
+/// Deterministic for a fixed `(n, p, seed)`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if n == 0 {
+        return Err(GraphError::BadParameter("random graph needs n >= 1".into()));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(GraphError::BadParameter("p must be in [0, 1]".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut present = vec![vec![false; n]; n];
+    let mut b = GraphBuilder::new(n);
+    // Random recursive tree backbone.
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        present[u][v] = true;
+        b.add_edge(u, v)?;
+    }
+    // Extra ER edges.
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !present[u][v] && rng.gen_bool(p) {
+                present[u][v] = true;
+                b.add_edge(u, v)?;
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_connected() {
+        for seed in 0..10 {
+            let g = random_connected(20, 0.05, seed).unwrap();
+            assert!(g.is_connected());
+            assert!(g.is_simple());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_connected(15, 0.2, 7).unwrap();
+        let b = random_connected(15, 0.2, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let g = random_connected(6, 1.0, 1).unwrap();
+        assert_eq!(g.m(), 15);
+    }
+
+    #[test]
+    fn p_zero_gives_tree() {
+        let g = random_connected(9, 0.0, 3).unwrap();
+        assert_eq!(g.m(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(random_connected(0, 0.5, 1).is_err());
+        assert!(random_connected(5, 1.5, 1).is_err());
+    }
+}

@@ -1,0 +1,570 @@
+//! Port-labeled anonymous networks.
+//!
+//! The paper's universe is a connected undirected graph whose nodes are
+//! unlabeled and whose `deg(x)` incident edge-endpoints at each node `x`
+//! carry pairwise-distinct *symbols*. Every edge therefore has two labels,
+//! one per extremity; `l_x(e)` denotes the label of `e` at `x`.
+//!
+//! [`Graph`] is a multigraph: loops and parallel edges are permitted, since
+//! the Fig. 2(c) counterexample of the paper (same views, singleton
+//! label-equivalence classes) requires both. A loop contributes *two*
+//! incidences — and hence two distinct port labels — at its node, exactly
+//! as in the paper's figure where the loop's two extremities are labeled
+//! `3` and `4`.
+//!
+//! Port values are plain `u32`s here. The *incomparability* of port symbols
+//! is a property of what protocols are allowed to observe, and is enforced
+//! by the agent runtime (`qelect-agentsim`), not by this mathematical
+//! substrate.
+
+use crate::error::GraphError;
+
+/// Index of a node. Nodes are `0..n`; the indices exist only in the
+/// mathematician's (and simulator's) view — the network itself is anonymous.
+pub type NodeId = usize;
+
+/// A port label: the symbol an edge endpoint carries at a node.
+///
+/// Within `qelect-graph`, ports are ordinary integers so that algorithms
+/// (canonical forms, views) can process them. The qualitative model's
+/// restriction — agents may only test port symbols for equality and invent
+/// their own private encodings — is imposed by the runtime layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Port(pub u32);
+
+impl std::fmt::Display for Port {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Which extremity of an edge an incidence refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum End {
+    /// The `u` extremity.
+    U,
+    /// The `v` extremity.
+    V,
+}
+
+impl End {
+    /// The opposite extremity.
+    #[inline]
+    pub fn flip(self) -> End {
+        match self {
+            End::U => End::V,
+            End::V => End::U,
+        }
+    }
+}
+
+/// An undirected edge `{u, v}` with one port label per extremity.
+///
+/// For a loop, `u == v` and `pu != pv` (the two extremities are distinct
+/// incidences at the same node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// Port label at `u`.
+    pub pu: Port,
+    /// Port label at `v`.
+    pub pv: Port,
+}
+
+impl Edge {
+    /// The node at the given extremity.
+    #[inline]
+    pub fn node(&self, end: End) -> NodeId {
+        match end {
+            End::U => self.u,
+            End::V => self.v,
+        }
+    }
+
+    /// The port label at the given extremity.
+    #[inline]
+    pub fn port(&self, end: End) -> Port {
+        match end {
+            End::U => self.pu,
+            End::V => self.pv,
+        }
+    }
+
+    /// Whether this edge is a loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.u == self.v
+    }
+}
+
+/// One edge-endpoint at a node: the pair (edge index, which extremity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Incidence {
+    /// Index into the graph's edge list.
+    pub edge: u32,
+    /// Which extremity of that edge sits at this node.
+    pub end: End,
+}
+
+/// A connected, undirected, port-labeled multigraph: the paper's anonymous
+/// network.
+///
+/// Construction goes through [`GraphBuilder`], which assigns ports
+/// (canonically `0..deg(v)` in insertion order unless explicit ports are
+/// given) and validates local port distinctness plus connectivity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<Edge>,
+    /// `adj[v]` lists the incidences at `v`, sorted by port label so that
+    /// iteration order is deterministic.
+    adj: Vec<Vec<Incidence>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (loops count once).
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The edge with the given index.
+    #[inline]
+    pub fn edge(&self, e: u32) -> &Edge {
+        &self.edges[e as usize]
+    }
+
+    /// Degree of `v`: the number of edge-endpoints at `v`. A loop counts
+    /// twice, since it contributes two distinct port symbols.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The incidences at `v`, in increasing port order.
+    #[inline]
+    pub fn incidences(&self, v: NodeId) -> &[Incidence] {
+        &self.adj[v]
+    }
+
+    /// The port label of an incidence (at the node it sits on).
+    #[inline]
+    pub fn port_of(&self, inc: Incidence) -> Port {
+        self.edges[inc.edge as usize].port(inc.end)
+    }
+
+    /// The node an incidence sits on.
+    #[inline]
+    pub fn node_of(&self, inc: Incidence) -> NodeId {
+        self.edges[inc.edge as usize].node(inc.end)
+    }
+
+    /// The far side of an incidence: the node reached by traversing the
+    /// edge, together with the port label found on arrival.
+    #[inline]
+    pub fn across(&self, inc: Incidence) -> (NodeId, Port) {
+        let e = &self.edges[inc.edge as usize];
+        let far = inc.end.flip();
+        (e.node(far), e.port(far))
+    }
+
+    /// Traverse the edge with port label `port` at node `v`.
+    ///
+    /// Returns the destination node and the entry port (the label of the
+    /// same edge at the destination). This is the agent's "move" primitive.
+    pub fn move_along(&self, v: NodeId, port: Port) -> Result<(NodeId, Port), GraphError> {
+        let inc = self
+            .incidence_at(v, port)
+            .ok_or(GraphError::NoSuchPort { node: v, port: port.0 })?;
+        Ok(self.across(inc))
+    }
+
+    /// The incidence at `v` whose port label is `port`, if any.
+    pub fn incidence_at(&self, v: NodeId, port: Port) -> Option<Incidence> {
+        // adj lists are sorted by port, so binary search applies.
+        let list = &self.adj[v];
+        list.binary_search_by_key(&port, |&inc| self.port_of(inc))
+            .ok()
+            .map(|i| list[i])
+    }
+
+    /// The ports present at `v`, in increasing order.
+    pub fn ports_at(&self, v: NodeId) -> Vec<Port> {
+        self.adj[v].iter().map(|&inc| self.port_of(inc)).collect()
+    }
+
+    /// Neighbors of `v` (with multiplicity; loops yield `v` twice).
+    pub fn neighbors(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[v].iter().map(move |&inc| self.across(inc).0)
+    }
+
+    /// Whether the graph is simple (no loops, no parallel edges).
+    pub fn is_simple(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        for e in &self.edges {
+            if e.is_loop() {
+                return false;
+            }
+            let key = (e.u.min(e.v), e.u.max(e.v));
+            if !seen.insert(key) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether the graph is `d`-regular.
+    pub fn is_regular(&self) -> Option<usize> {
+        let d = self.degree(0);
+        if (1..self.n).all(|v| self.degree(v) == d) {
+            Some(d)
+        } else {
+            None
+        }
+    }
+
+    /// Single-source shortest-path distances (BFS; all edges unit length).
+    pub fn distances_from(&self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src] = 0;
+        queue.push_back(src);
+        while let Some(v) = queue.pop_front() {
+            for &inc in &self.adj[v] {
+                let (w, _) = self.across(inc);
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph diameter (max eccentricity). `O(n·(n+m))`.
+    pub fn diameter(&self) -> usize {
+        (0..self.n)
+            .map(|v| {
+                self.distances_from(v)
+                    .into_iter()
+                    .filter(|&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the graph is connected. The empty graph is not.
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return false;
+        }
+        self.distances_from(0).iter().all(|&d| d != usize::MAX)
+    }
+
+    /// Whether the graph is vertex-transitive, decided by comparing
+    /// canonical forms of all rooted versions (exact, exponential in the
+    /// worst case; intended for the modest sizes the experiments use).
+    pub fn is_vertex_transitive(&self) -> bool {
+        let all_white = crate::bicolored::Bicolored::new(self.clone(), &[]).expect("empty placement");
+        let classes = crate::surrounding::equivalence_classes(&all_white);
+        classes.len() == 1
+    }
+
+    /// Re-label every port with fresh values produced by `f`, preserving
+    /// the graph structure. Used to build adversarial qualitative
+    /// labelings; `f` receives `(node, old_port)` and must keep labels
+    /// locally distinct (validated).
+    pub fn relabel_ports(
+        &self,
+        mut f: impl FnMut(NodeId, Port) -> Port,
+    ) -> Result<Graph, GraphError> {
+        let mut builder = GraphBuilder::new(self.n);
+        for e in &self.edges {
+            let pu = f(e.u, e.pu);
+            let pv = f(e.v, e.pv);
+            builder.add_edge_with_ports(e.u, e.v, pu, pv)?;
+        }
+        builder.finish()
+    }
+
+    /// An upper bound on the number of moves a full traversal costs:
+    /// `2·m` (each edge crossed at most twice by a DFS).
+    pub fn traversal_bound(&self) -> usize {
+        2 * self.m()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    /// Next automatically-assigned port per node.
+    next_port: Vec<u32>,
+    /// Whether any port was explicitly supplied (mixed mode is allowed but
+    /// the builder still validates distinctness at the end).
+    explicit: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            next_port: vec![0; n],
+            explicit: false,
+        }
+    }
+
+    fn check_node(&self, v: NodeId) -> Result<(), GraphError> {
+        if v >= self.n {
+            Err(GraphError::NodeOutOfRange { node: v, n: self.n })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Add an edge `{u, v}` with automatically-assigned ports
+    /// (`0, 1, 2, …` per node in insertion order). Loops allowed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<&mut Self, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        let pu = Port(self.next_port[u]);
+        self.next_port[u] += 1;
+        let pv = Port(self.next_port[v]);
+        self.next_port[v] += 1;
+        self.edges.push(Edge { u, v, pu, pv });
+        Ok(self)
+    }
+
+    /// Add an edge with explicit port labels at each extremity.
+    pub fn add_edge_with_ports(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        pu: Port,
+        pv: Port,
+    ) -> Result<&mut Self, GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        self.explicit = true;
+        self.next_port[u] = self.next_port[u].max(pu.0 + 1);
+        self.next_port[v] = self.next_port[v].max(pv.0 + 1);
+        self.edges.push(Edge { u, v, pu, pv });
+        Ok(self)
+    }
+
+    /// Finalize: validate port distinctness and connectivity.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adj: Vec<Vec<Incidence>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.u].push(Incidence { edge: i as u32, end: End::U });
+            adj[e.v].push(Incidence { edge: i as u32, end: End::V });
+        }
+        // Validate local port distinctness; sort by port for determinism.
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.sort_by_key(|inc| {
+                let e = &self.edges[inc.edge as usize];
+                e.port(inc.end)
+            });
+            for w in list.windows(2) {
+                let p0 = self.edges[w[0].edge as usize].port(w[0].end);
+                let p1 = self.edges[w[1].edge as usize].port(w[1].end);
+                if p0 == p1 {
+                    return Err(GraphError::DuplicatePort { node: v, port: p0.0 });
+                }
+            }
+        }
+        let g = Graph { n: self.n, edges: self.edges, adj };
+        if !g.is_connected() {
+            return Err(GraphError::Disconnected);
+        }
+        Ok(g)
+    }
+
+    /// Finalize without the connectivity check (used by tests that build
+    /// deliberately-disconnected inputs to exercise error paths).
+    pub fn finish_unchecked_connectivity(self) -> Result<Graph, GraphError> {
+        if self.n == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut adj: Vec<Vec<Incidence>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            adj[e.u].push(Incidence { edge: i as u32, end: End::U });
+            adj[e.v].push(Incidence { edge: i as u32, end: End::V });
+        }
+        for (v, list) in adj.iter_mut().enumerate() {
+            list.sort_by_key(|inc| {
+                let e = &self.edges[inc.edge as usize];
+                e.port(inc.end)
+            });
+            for w in list.windows(2) {
+                let p0 = self.edges[w[0].edge as usize].port(w[0].end);
+                let p1 = self.edges[w[1].edge as usize].port(w[1].end);
+                if p0 == p1 {
+                    return Err(GraphError::DuplicatePort { node: v, port: p0.0 });
+                }
+            }
+        }
+        Ok(Graph { n: self.n, edges: self.edges, adj })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.is_simple());
+        assert_eq!(g.is_regular(), Some(2));
+        assert!(g.is_connected());
+        assert_eq!(g.diameter(), 1);
+    }
+
+    #[test]
+    fn auto_ports_are_sequential() {
+        let g = triangle();
+        assert_eq!(g.ports_at(0), vec![Port(0), Port(1)]);
+        assert_eq!(g.ports_at(1), vec![Port(0), Port(1)]);
+    }
+
+    #[test]
+    fn move_along_round_trips() {
+        let g = triangle();
+        let (w, entry) = g.move_along(0, Port(0)).unwrap();
+        assert_eq!(w, 1);
+        let (back, p) = g.move_along(w, entry).unwrap();
+        assert_eq!(back, 0);
+        assert_eq!(p, Port(0));
+    }
+
+    #[test]
+    fn missing_port_is_error() {
+        let g = triangle();
+        assert!(matches!(
+            g.move_along(0, Port(9)),
+            Err(GraphError::NoSuchPort { node: 0, port: 9 })
+        ));
+    }
+
+    #[test]
+    fn loops_take_two_ports() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 0).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+        assert!(!g.is_simple());
+        // Traversing the loop from either port lands back at node 0 with
+        // the other port as the entry port.
+        let (w, entry) = g.move_along(0, Port(1)).unwrap();
+        assert_eq!(w, 0);
+        assert_eq!(entry, Port(2));
+    }
+
+    #[test]
+    fn parallel_edges_are_distinguished_by_ports() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 1).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.degree(0), 2);
+        assert!(!g.is_simple());
+        let (w0, e0) = g.move_along(0, Port(0)).unwrap();
+        let (w1, e1) = g.move_along(0, Port(1)).unwrap();
+        assert_eq!((w0, w1), (1, 1));
+        assert_ne!(e0, e1);
+    }
+
+    #[test]
+    fn duplicate_explicit_ports_rejected() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(0, 1, Port(0), Port(0)).unwrap();
+        b.add_edge_with_ports(0, 2, Port(0), Port(0)).unwrap();
+        assert!(matches!(
+            b.finish(),
+            Err(GraphError::DuplicatePort { node: 0, port: 0 })
+        ));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(2, 3).unwrap();
+        assert!(matches!(b.finish(), Err(GraphError::Disconnected)));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let b = GraphBuilder::new(0);
+        assert!(matches!(b.finish(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.finish().unwrap();
+        assert_eq!(g.distances_from(0), vec![0, 1, 2, 3]);
+        assert_eq!(g.diameter(), 3);
+    }
+
+    #[test]
+    fn relabel_ports_preserves_structure() {
+        let g = triangle();
+        let g2 = g.relabel_ports(|_, p| Port(p.0 + 100)).unwrap();
+        assert_eq!(g2.n(), 3);
+        assert_eq!(g2.m(), 3);
+        let (w, _) = g2.move_along(0, Port(100)).unwrap();
+        assert_eq!(w, 1);
+    }
+
+    #[test]
+    fn out_of_range_node_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 5).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Port labelings: canonical, adversarial, and random.
+//!
+//! The role of edge labels in anonymous networks is only to let an agent
+//! distinguish the edges at a node; *effectual* protocols must work no
+//! matter how an adversary picks the labeling (Section 1.3 of the paper).
+//! This module produces labeling variants of a fixed underlying graph:
+//!
+//! * [`canonical`] — ports `0..deg(v)` per node in incidence order;
+//! * [`scramble`] — a deterministic pseudo-random permutation of each
+//!   node's ports plus a value-obfuscation step, simulating qualitative
+//!   symbols that carry no usable global structure;
+//! * [`all_labelings`] — exhaustive enumeration (for the small instances
+//!   on which Theorem 2.1's max-over-labelings symmetricity is computed).
+
+use crate::error::GraphError;
+use crate::graph::{Graph, NodeId, Port};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Re-port the graph canonically: at every node the incident endpoints get
+/// ports `0, 1, 2, …` in the current port order.
+pub fn canonical(g: &Graph) -> Result<Graph, GraphError> {
+    let mut next: HashMap<(NodeId, Port), Port> = HashMap::new();
+    for v in 0..g.n() {
+        for (i, &inc) in g.incidences(v).iter().enumerate() {
+            next.insert((v, g.port_of(inc)), Port(i as u32));
+        }
+    }
+    g.relabel_ports(|v, p| next[&(v, p)])
+}
+
+/// Deterministically scramble the labeling with the given seed: each
+/// node's ports are permuted and mapped to arbitrary distinct `u32`
+/// values. Two scrambles of the same graph are label-isomorphic to the
+/// original but look utterly different to any protocol that tries to
+/// exploit port values — the adversary of the qualitative model.
+pub fn scramble(g: &Graph, seed: u64) -> Result<Graph, GraphError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut map: HashMap<(NodeId, Port), Port> = HashMap::new();
+    for v in 0..g.n() {
+        let d = g.degree(v);
+        let mut values: Vec<u32> = Vec::with_capacity(d);
+        while values.len() < d {
+            let candidate = rng.gen::<u32>() >> 1;
+            if !values.contains(&candidate) {
+                values.push(candidate);
+            }
+        }
+        values.shuffle(&mut rng);
+        for (i, &inc) in g.incidences(v).iter().enumerate() {
+            map.insert((v, g.port_of(inc)), Port(values[i]));
+        }
+    }
+    g.relabel_ports(|v, p| map[&(v, p)])
+}
+
+/// Enumerate *all* port labelings of the graph, where each node assigns
+/// ports `0..deg(v)` to its incidences in every possible permutation.
+///
+/// The count is `∏_v deg(v)!`, so the function refuses inputs whose count
+/// exceeds `cap` (returns `None`). Used by the exhaustive Theorem 2.1 /
+/// symmetricity experiments on tiny graphs.
+pub fn all_labelings(g: &Graph, cap: usize) -> Option<Vec<Graph>> {
+    // Count first.
+    let mut total: usize = 1;
+    for v in 0..g.n() {
+        let f = factorial(g.degree(v))?;
+        total = total.checked_mul(f)?;
+        if total > cap {
+            return None;
+        }
+    }
+    // Per-node permutations.
+    let perms_per_node: Vec<Vec<Vec<usize>>> = (0..g.n())
+        .map(|v| permutations(g.degree(v)))
+        .collect();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; g.n()];
+    loop {
+        // Build the labeling for the current index vector.
+        let mut map: HashMap<(NodeId, Port), Port> = HashMap::new();
+        for v in 0..g.n() {
+            let perm = &perms_per_node[v][idx[v]];
+            for (i, &inc) in g.incidences(v).iter().enumerate() {
+                map.insert((v, g.port_of(inc)), Port(perm[i] as u32));
+            }
+        }
+        out.push(
+            g.relabel_ports(|v, p| map[&(v, p)])
+                .expect("permuted labeling stays valid"),
+        );
+        // Odometer increment.
+        let mut v = 0;
+        loop {
+            if v == g.n() {
+                return Some(out);
+            }
+            idx[v] += 1;
+            if idx[v] < perms_per_node[v].len() {
+                break;
+            }
+            idx[v] = 0;
+            v += 1;
+        }
+    }
+}
+
+fn factorial(d: usize) -> Option<usize> {
+    let mut f: usize = 1;
+    for i in 2..=d {
+        f = f.checked_mul(i)?;
+    }
+    Some(f)
+}
+
+fn permutations(d: usize) -> Vec<Vec<usize>> {
+    let mut base: Vec<usize> = (0..d).collect();
+    let mut out = Vec::new();
+    fn heaps(k: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(arr.clone());
+            return;
+        }
+        for i in 0..k {
+            heaps(k - 1, arr, out);
+            if k % 2 == 0 {
+                arr.swap(i, k - 1);
+            } else {
+                arr.swap(0, k - 1);
+            }
+        }
+    }
+    heaps(d, &mut base, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bicolored::Bicolored;
+    use crate::families;
+    use crate::view::view_partition;
+
+    #[test]
+    fn canonical_ports_are_dense() {
+        let g = families::cycle(5).unwrap();
+        let c = canonical(&g).unwrap();
+        for v in 0..5 {
+            assert_eq!(c.ports_at(v), vec![Port(0), Port(1)]);
+        }
+    }
+
+    #[test]
+    fn scramble_is_deterministic_per_seed() {
+        let g = families::hypercube(3).unwrap();
+        let a = scramble(&g, 42).unwrap();
+        let b = scramble(&g, 42).unwrap();
+        let c = scramble(&g, 43).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scramble_preserves_structure() {
+        let g = families::petersen().unwrap();
+        let s = scramble(&g, 7).unwrap();
+        assert_eq!(s.n(), g.n());
+        assert_eq!(s.m(), g.m());
+        assert_eq!(s.is_regular(), Some(3));
+        assert_eq!(s.diameter(), g.diameter());
+    }
+
+    #[test]
+    fn all_labelings_of_path3() {
+        // path of 3 nodes: degrees 1, 2, 1 → 1!·2!·1! = 2 labelings.
+        let g = families::path(3).unwrap();
+        let all = all_labelings(&g, 100).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn all_labelings_respects_cap() {
+        let g = families::complete(5).unwrap(); // (4!)^5 ≈ 8M
+        assert!(all_labelings(&g, 1000).is_none());
+    }
+
+    #[test]
+    fn labelings_change_symmetricity() {
+        // K2 with one agentless labeling: the symmetric labeling has
+        // symmetricity 2; there is no asymmetric labeling of K2 (both
+        // nodes have degree 1, port 0) — so all labelings agree.
+        let g = families::complete(2).unwrap();
+        let all = all_labelings(&g, 10).unwrap();
+        assert_eq!(all.len(), 1);
+        let bc = Bicolored::new(all[0].clone(), &[]).unwrap();
+        assert_eq!(view_partition(&bc).k, 1);
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(0).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+    }
+}

@@ -1,0 +1,221 @@
+//! Equitable-partition refinement (1-dimensional Weisfeiler–Leman).
+//!
+//! The same refinement loop underlies three pieces of the paper's theory:
+//!
+//! * view equivalence (`~view`, Section 2) — refine with port-pair arc
+//!   colors until stable; the stable classes are exactly the classes of
+//!   equal view (Norris: depth `n − 1` suffices, and refinement stabilizes
+//!   at least that fast);
+//! * automorphism search and canonical labeling — refinement is the
+//!   workhorse that shrinks the individualization-refinement search tree;
+//! * surroundings — pre-partitioning nodes before exact canonicalization.
+//!
+//! Classes are renumbered each round by *sorting signatures*, which keeps
+//! the partition isomorphism-invariant: two nodes of isomorphic digraphs
+//! receive the same class index sequence.
+
+use crate::digraph::ColoredDigraph;
+use std::collections::BTreeMap;
+
+/// A partition of the nodes into classes `0..k`, isomorphism-invariantly
+/// numbered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `class[v]` = class index of node `v`.
+    pub class: Vec<u32>,
+    /// Number of classes.
+    pub k: usize,
+}
+
+impl Partition {
+    /// Build the normalized partition induced by arbitrary per-node keys.
+    pub fn from_keys<K: Ord>(keys: &[K]) -> Partition {
+        let mut sorted: Vec<&K> = keys.iter().collect();
+        sorted.sort();
+        sorted.dedup_by(|a, b| a == b);
+        let index: BTreeMap<&K, u32> = sorted
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i as u32))
+            .collect();
+        let class: Vec<u32> = keys.iter().map(|k| index[k]).collect();
+        let k = index.len();
+        Partition { class, k }
+    }
+
+    /// The classes as sorted vectors of node ids, ordered by class index.
+    pub fn cells(&self) -> Vec<Vec<usize>> {
+        let mut cells = vec![Vec::new(); self.k];
+        for (v, &c) in self.class.iter().enumerate() {
+            cells[c as usize].push(v);
+        }
+        cells
+    }
+
+    /// Whether all classes are singletons.
+    pub fn is_discrete(&self) -> bool {
+        self.k == self.class.len()
+    }
+
+    /// Sizes of the classes, indexed by class.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k];
+        for &c in &self.class {
+            s[c as usize] += 1;
+        }
+        s
+    }
+}
+
+/// One signature entry: `(direction, arc color, class of the other end)`.
+/// Direction 0 = outgoing, 1 = incoming, so the multiset distinguishes
+/// in-neighborhoods from out-neighborhoods.
+type SigEntry = (u8, u64, u32);
+
+fn signature(d: &ColoredDigraph, part: &Partition, v: usize) -> Vec<SigEntry> {
+    let mut sig: Vec<SigEntry> = Vec::with_capacity(d.out_degree(v) + d.in_degree(v));
+    for a in d.out_arcs(v) {
+        sig.push((0, a.color, part.class[a.to as usize]));
+    }
+    for a in d.in_arcs(v) {
+        sig.push((1, a.color, part.class[a.from as usize]));
+    }
+    sig.sort_unstable();
+    sig
+}
+
+/// Perform one refinement round. Returns the refined partition and whether
+/// it changed.
+pub fn refine_once(d: &ColoredDigraph, part: &Partition) -> (Partition, bool) {
+    let keys: Vec<(u32, Vec<SigEntry>)> = (0..d.n())
+        .map(|v| (part.class[v], signature(d, part, v)))
+        .collect();
+    let next = Partition::from_keys(&keys);
+    let changed = next.k != part.k;
+    (next, changed)
+}
+
+/// Refine to the coarsest equitable partition refining `initial`.
+///
+/// If `initial` is `None`, starts from the partition induced by node
+/// colors. Runs at most `n` rounds (each productive round strictly
+/// increases the class count).
+pub fn refine_to_stable(d: &ColoredDigraph, initial: Option<Partition>) -> Partition {
+    let mut part = initial.unwrap_or_else(|| Partition::from_keys(d.node_colors()));
+    loop {
+        let (next, changed) = refine_once(d, &part);
+        part = next;
+        if !changed {
+            return part;
+        }
+    }
+}
+
+/// Refine for exactly `rounds` rounds (used to expose the per-depth view
+/// classes of the Fig. 2 demonstrations).
+pub fn refine_rounds(d: &ColoredDigraph, rounds: usize) -> Vec<Partition> {
+    let mut part = Partition::from_keys(d.node_colors());
+    let mut history = vec![part.clone()];
+    for _ in 0..rounds {
+        let (next, _) = refine_once(d, &part);
+        part = next;
+        history.push(part.clone());
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::Arc;
+
+    /// Path 0-1-2 with uniform arc colors: ends vs middle split.
+    fn path3() -> ColoredDigraph {
+        ColoredDigraph::new(
+            vec![0, 0, 0],
+            vec![
+                Arc { from: 0, to: 1, color: 0 },
+                Arc { from: 1, to: 0, color: 0 },
+                Arc { from: 1, to: 2, color: 0 },
+                Arc { from: 2, to: 1, color: 0 },
+            ],
+        )
+    }
+
+    #[test]
+    fn path_splits_by_degree() {
+        let p = refine_to_stable(&path3(), None);
+        assert_eq!(p.k, 2);
+        assert_eq!(p.class[0], p.class[2]);
+        assert_ne!(p.class[0], p.class[1]);
+    }
+
+    #[test]
+    fn cycle_stays_uniform() {
+        let mut arcs = Vec::new();
+        let n = 6;
+        for v in 0..n {
+            let w = (v + 1) % n;
+            arcs.push(Arc { from: v as u32, to: w as u32, color: 0 });
+            arcs.push(Arc { from: w as u32, to: v as u32, color: 0 });
+        }
+        let d = ColoredDigraph::new(vec![0; n], arcs);
+        let p = refine_to_stable(&d, None);
+        assert_eq!(p.k, 1);
+    }
+
+    #[test]
+    fn node_colors_seed_partition() {
+        let mut arcs = Vec::new();
+        let n = 4;
+        for v in 0..n {
+            let w = (v + 1) % n;
+            arcs.push(Arc { from: v as u32, to: w as u32, color: 0 });
+            arcs.push(Arc { from: w as u32, to: v as u32, color: 0 });
+        }
+        // Mark node 0 black: the 4-cycle splits by distance from node 0.
+        let d = ColoredDigraph::new(vec![1, 0, 0, 0], arcs);
+        let p = refine_to_stable(&d, None);
+        assert_eq!(p.k, 3); // {0}, {1, 3}, {2}
+        assert_eq!(p.class[1], p.class[3]);
+    }
+
+    #[test]
+    fn arc_colors_refine() {
+        // Directed 3-cycle with one distinguished arc color.
+        let d = ColoredDigraph::new(
+            vec![0, 0, 0],
+            vec![
+                Arc { from: 0, to: 1, color: 9 },
+                Arc { from: 1, to: 2, color: 0 },
+                Arc { from: 2, to: 0, color: 0 },
+            ],
+        );
+        let p = refine_to_stable(&d, None);
+        assert_eq!(p.k, 3);
+    }
+
+    #[test]
+    fn discrete_partition_detected() {
+        let d = path3();
+        let p = Partition::from_keys(&[0u32, 1, 2]);
+        assert!(p.is_discrete());
+        let (next, changed) = refine_once(&d, &p);
+        assert!(!changed);
+        assert_eq!(next.k, 3);
+    }
+
+    #[test]
+    fn history_monotonically_refines() {
+        let hist = refine_rounds(&path3(), 3);
+        for w in hist.windows(2) {
+            assert!(w[1].k >= w[0].k);
+        }
+    }
+
+    #[test]
+    fn sizes_sum_to_n() {
+        let p = refine_to_stable(&path3(), None);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 3);
+    }
+}

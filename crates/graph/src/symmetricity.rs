@@ -1,0 +1,196 @@
+//! Symmetricity and the Theorem 2.1 impossibility condition.
+//!
+//! Yamashita–Kameda define the symmetricity of a network `H` as
+//! `σ(H) = max { σ_ℓ(H) : ℓ an edge-labeling of H }` and prove election in
+//! an anonymous processor network is possible only if `σ(H) = 1`.
+//! Theorem 2.1 of the paper transports this to mobile agents: if *some*
+//! edge-labeling of `(G, p)` has label-equivalence classes of size > 1,
+//! election is impossible.
+//!
+//! This module provides:
+//!
+//! * exact max-symmetricity by exhaustive labeling enumeration (tiny
+//!   instances) — [`max_symmetricity_exhaustive`];
+//! * sampled lower bounds over scrambled labelings — [`max_symmetricity_sampled`];
+//! * the Theorem 2.1 checker in both exhaustive and witness forms.
+
+use crate::automorphism::label_equivalence;
+use crate::bicolored::Bicolored;
+use crate::graph::Graph;
+use crate::labeling;
+use crate::view::symmetricity_of_labeling;
+
+/// Exact `max_ℓ σ_ℓ(G, p)` by enumerating every labeling. Returns `None`
+/// if the labeling count exceeds `cap`.
+pub fn max_symmetricity_exhaustive(
+    g: &Graph,
+    homebases: &[usize],
+    cap: usize,
+) -> Option<usize> {
+    let labelings = labeling::all_labelings(g, cap)?;
+    let mut best = 1;
+    for lg in labelings {
+        let bc = Bicolored::new(lg, homebases).expect("placement stays valid");
+        best = best.max(symmetricity_of_labeling(&bc));
+    }
+    Some(best)
+}
+
+/// Sampled lower bound on max symmetricity: the best `σ_ℓ` over `samples`
+/// scrambled labelings (plus the canonical one).
+pub fn max_symmetricity_sampled(
+    g: &Graph,
+    homebases: &[usize],
+    samples: usize,
+    seed: u64,
+) -> usize {
+    let mut best =
+        symmetricity_of_labeling(&Bicolored::new(g.clone(), homebases).expect("valid"));
+    for i in 0..samples {
+        let lg = labeling::scramble(g, seed.wrapping_add(i as u64)).expect("scramble");
+        let bc = Bicolored::new(lg, homebases).expect("valid");
+        best = best.max(symmetricity_of_labeling(&bc));
+    }
+    best
+}
+
+/// The label-equivalence class size of the instance under its *current*
+/// labeling (all classes share one size by Lemma 2.1).
+pub fn lab_class_size(bc: &Bicolored) -> usize {
+    crate::automorphism::lab_class_common_size(bc)
+        .expect("Lemma 2.1: label-equivalence classes have equal size")
+}
+
+/// Theorem 2.1, witness form: does the instance's *current* labeling have
+/// label-equivalence classes of size > 1? If yes, election is impossible
+/// for `(G, p)` (regardless of the labeling actually deployed — the
+/// adversary picks it).
+pub fn labeling_witnesses_impossibility(bc: &Bicolored) -> bool {
+    lab_class_size(bc) > 1
+}
+
+/// Theorem 2.1, exhaustive form: search all labelings (count ≤ `cap`) for
+/// an impossibility witness. `Some(true)` means election in `(G, p)` is
+/// provably impossible; `Some(false)` means no labeling of size-`> 1`
+/// label classes exists; `None` means the search space was too large.
+pub fn impossible_by_thm21_exhaustive(
+    g: &Graph,
+    homebases: &[usize],
+    cap: usize,
+) -> Option<bool> {
+    let labelings = labeling::all_labelings(g, cap)?;
+    for lg in labelings {
+        let bc = Bicolored::new(lg, homebases).expect("valid");
+        if labeling_witnesses_impossibility(&bc) {
+            return Some(true);
+        }
+    }
+    Some(false)
+}
+
+/// `σ_ℓ(G) ≥ lab-class size` for every labeling (Equation 1 of the paper:
+/// `x ~lab y ⇒ x ~view y`). Diagnostic used by the property tests.
+pub fn equation_1_holds(bc: &Bicolored) -> bool {
+    let lab = label_equivalence(bc);
+    let view = crate::view::view_partition(bc);
+    // lab must refine view: same lab class ⇒ same view class.
+    let mut rep: Vec<Option<u32>> = vec![None; lab.k];
+    for v in 0..bc.n() {
+        let lc = lab.class[v] as usize;
+        match rep[lc] {
+            None => rep[lc] = Some(view.class[v]),
+            Some(c) => {
+                if c != view.class[v] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+
+    #[test]
+    fn k2_two_agents_impossible() {
+        // The paper's canonical counterexample: K2 with an agent at each
+        // node. Its unique labeling has label classes of size 2.
+        let g = families::complete(2).unwrap();
+        assert_eq!(impossible_by_thm21_exhaustive(&g, &[0, 1], 100), Some(true));
+    }
+
+    #[test]
+    fn k2_one_agent_possible() {
+        let g = families::complete(2).unwrap();
+        assert_eq!(impossible_by_thm21_exhaustive(&g, &[0], 100), Some(false));
+    }
+
+    #[test]
+    fn c4_antipodal_agents_impossible() {
+        let g = families::cycle(4).unwrap();
+        assert_eq!(
+            impossible_by_thm21_exhaustive(&g, &[0, 2], 10_000),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn c4_adjacent_agents() {
+        // Two adjacent agents on C4: classes {0,1} black and {2,3} white
+        // admit a labeling with lab classes of size 2 (the reflection
+        // exchanging the two agents), so election is impossible.
+        let g = families::cycle(4).unwrap();
+        assert_eq!(
+            impossible_by_thm21_exhaustive(&g, &[0, 1], 10_000),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn path_one_agent_at_end_possible() {
+        let g = families::path(3).unwrap();
+        assert_eq!(impossible_by_thm21_exhaustive(&g, &[0], 100), Some(false));
+    }
+
+    #[test]
+    fn max_symmetricity_on_uniform_cycle() {
+        let g = families::cycle(4).unwrap();
+        // With no agents: the rotation-invariant labeling gives sigma = 4.
+        let s = max_symmetricity_exhaustive(&g, &[], 10_000).unwrap();
+        assert_eq!(s, 4);
+    }
+
+    #[test]
+    fn sampled_bound_is_consistent() {
+        let g = families::cycle(4).unwrap();
+        let exact = max_symmetricity_exhaustive(&g, &[0, 2], 10_000).unwrap();
+        let sampled = max_symmetricity_sampled(&g, &[0, 2], 8, 1);
+        assert!(sampled <= exact);
+        assert!(sampled >= 1);
+    }
+
+    #[test]
+    fn equation_1_on_families() {
+        for bc in [
+            Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap(),
+            Bicolored::new(families::hypercube(3).unwrap(), &[0]).unwrap(),
+            Bicolored::new(families::petersen().unwrap(), &[0, 1]).unwrap(),
+        ] {
+            assert!(equation_1_holds(&bc));
+        }
+    }
+
+    #[test]
+    fn fig2c_gadget_same_views_singleton_lab_classes() {
+        // The paper's Fig. 2(c): ring of three + double edge + loop. All
+        // three nodes have the same view although the lab classes are
+        // singletons — the converse of Equation 1 fails.
+        let g = families::fig2c_gadget().unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        assert_eq!(crate::view::view_partition(&bc).k, 1, "all views equal");
+        assert_eq!(lab_class_size(&bc), 1, "lab classes are singletons");
+    }
+}

@@ -1,0 +1,303 @@
+//! Views (Yamashita–Kameda) and view equivalence.
+//!
+//! The view of an edge-labeled graph `G` from node `v` is the infinite
+//! labeled rooted tree `V(v)` of all labeled walks out of `v`. By Norris,
+//! views truncated at depth `n − 1` decide view equivalence. Two
+//! computational faces are provided:
+//!
+//! * [`view_partition`] — the `~view` classes via equitable partition
+//!   refinement over the port-colored digraph (the fixpoint of refinement
+//!   equals depth-`(n−1)` view equivalence);
+//! * [`ViewTree`] — explicit truncated view trees, used by the Fig. 2
+//!   demonstrations and as a cross-check oracle for the refinement path.
+//!
+//! Views of bi-colored instances include the node colors (home-base or
+//! not), as required by Theorem 2.1's proof.
+
+use crate::bicolored::Bicolored;
+use crate::digraph::ColoredDigraph;
+use crate::graph::{NodeId, Port};
+use crate::refine::{refine_to_stable, Partition};
+
+/// Digraph whose arcs carry the full *pair* of port labels
+/// `(l_tail, l_head)` packed into the arc color. Refinement over this
+/// digraph is exactly view equivalence: the out-neighborhood signature of
+/// a node lists, per incident edge, both labels and the class of the far
+/// node — the one-step unrolling of the view.
+pub fn view_digraph(bc: &Bicolored) -> ColoredDigraph {
+    let g = bc.graph();
+    let mut arcs = Vec::with_capacity(2 * g.m());
+    for e in g.edges() {
+        let down_up = (u64::from(e.pu.0) << 32) | u64::from(e.pv.0);
+        let up_down = (u64::from(e.pv.0) << 32) | u64::from(e.pu.0);
+        arcs.push(crate::digraph::Arc { from: e.u as u32, to: e.v as u32, color: down_up });
+        arcs.push(crate::digraph::Arc { from: e.v as u32, to: e.u as u32, color: up_down });
+    }
+    ColoredDigraph::new(bc.node_colors(), arcs)
+}
+
+/// The `~view` partition of a bi-colored, port-labeled instance.
+pub fn view_partition(bc: &Bicolored) -> Partition {
+    refine_to_stable(&view_digraph(bc), None)
+}
+
+/// The symmetricity `σ_ℓ(G, p)` of the instance under its current port
+/// labeling: the common size of the `~view` classes.
+///
+/// Yamashita–Kameda prove all view classes of a connected network have
+/// equal size; the function asserts this invariant (debug builds) and
+/// returns the common size.
+pub fn symmetricity_of_labeling(bc: &Bicolored) -> usize {
+    let part = view_partition(bc);
+    let sizes = part.sizes();
+    debug_assert!(
+        sizes.iter().all(|&s| s == sizes[0]),
+        "view classes of a connected network must have equal size (YK96); got {sizes:?}"
+    );
+    sizes[0]
+}
+
+/// An explicit view tree truncated at some depth.
+///
+/// Each tree node carries the bicolor of the graph node it unrolls
+/// (`black`), and each child edge carries the pair of port labels
+/// `(down, up)`: `down` is the label at the parent side, `up` at the child
+/// side — exactly the two labels of the corresponding graph edge.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewTree {
+    /// Color of the root (true = home-base).
+    pub black: bool,
+    /// Children ordered by `down` port (the ports at one node are
+    /// distinct, so this order is canonical given the labeling).
+    pub children: Vec<(Port, Port, ViewTree)>,
+}
+
+impl ViewTree {
+    /// Build the view of `v` truncated at `depth`.
+    pub fn build(bc: &Bicolored, v: NodeId, depth: usize) -> ViewTree {
+        let g = bc.graph();
+        let mut children = Vec::new();
+        if depth > 0 {
+            for &inc in g.incidences(v) {
+                let down = g.port_of(inc);
+                let (w, up) = g.across(inc);
+                children.push((down, up, ViewTree::build(bc, w, depth - 1)));
+            }
+        }
+        ViewTree { black: bc.is_black(v), children }
+    }
+
+    /// Number of nodes in the truncated tree.
+    pub fn size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(|(_, _, t)| t.size())
+            .sum::<usize>()
+    }
+
+    /// Depth of the truncated tree.
+    pub fn depth(&self) -> usize {
+        self.children
+            .iter()
+            .map(|(_, _, t)| t.depth() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Re-encode every port symbol by its first-appearance index in a
+    /// pre-order walk — "the rule consisting to code `i` the `i`-th symbol
+    /// met so far" from the paper's Fig. 2(b) discussion. This is the best
+    /// an agent in the *qualitative* world can do to serialize its view,
+    /// and the paper's point is that it loses information: distinct views
+    /// can collapse to the same encoding.
+    pub fn first_seen_encoding(&self) -> ViewTree {
+        let mut map: std::collections::HashMap<Port, Port> = std::collections::HashMap::new();
+        fn enc(p: Port, map: &mut std::collections::HashMap<Port, Port>) -> Port {
+            let next = Port(map.len() as u32);
+            *map.entry(p).or_insert(next)
+        }
+        fn walk(
+            t: &ViewTree,
+            map: &mut std::collections::HashMap<Port, Port>,
+        ) -> ViewTree {
+            let children = t
+                .children
+                .iter()
+                .map(|(down, up, sub)| {
+                    let d = enc(*down, map);
+                    let u = enc(*up, map);
+                    (d, u, walk(sub, map))
+                })
+                .collect();
+            ViewTree { black: t.black, children }
+        }
+        walk(self, &mut map)
+    }
+}
+
+/// Walk a path graph from a degree-1 endpoint to the other end, recording
+/// the sequence of port symbols encountered: exit symbol, entry symbol,
+/// exit symbol, … — the sequence the paper's agents `a_x` and `a_z` read
+/// off in the Fig. 2(b) discussion.
+pub fn path_walk_symbols(bc: &Bicolored, start: NodeId) -> Vec<u32> {
+    let g = bc.graph();
+    assert_eq!(g.degree(start), 1, "walk must start at a path endpoint");
+    let mut seq = Vec::new();
+    let mut current = start;
+    let mut entry: Option<Port> = None;
+    loop {
+        let exit = g
+            .incidences(current)
+            .iter()
+            .map(|&inc| g.port_of(inc))
+            .find(|&p| Some(p) != entry);
+        let exit = match exit {
+            Some(p) => p,
+            None => break, // reached the far endpoint
+        };
+        seq.push(exit.0);
+        let (next, arrived) = g.move_along(current, exit).expect("port exists");
+        seq.push(arrived.0);
+        current = next;
+        entry = Some(arrived);
+        if g.degree(current) == 1 {
+            break;
+        }
+    }
+    seq
+}
+
+/// Encode a symbol sequence by the paper's rule: "code `i` the `i`-th
+/// symbol met so far". The only serialization available to a qualitative
+/// agent — and a lossy one.
+pub fn first_seen_code(seq: &[u32]) -> Vec<u32> {
+    let mut map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    seq.iter()
+        .map(|&s| {
+            let next = map.len() as u32;
+            *map.entry(s).or_insert(next)
+        })
+        .collect()
+}
+
+/// View equivalence decided by explicit trees at depth `n − 1` (Norris) —
+/// the oracle the refinement implementation is checked against.
+pub fn views_equal_by_trees(bc: &Bicolored, x: NodeId, y: NodeId) -> bool {
+    let depth = bc.n().saturating_sub(1);
+    ViewTree::build(bc, x, depth) == ViewTree::build(bc, y, depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families;
+    use crate::graph::{GraphBuilder, Port};
+
+    #[test]
+    fn uniform_cycle_has_full_symmetricity() {
+        // C6 with the rotation-invariant labeling (port 0 = clockwise,
+        // port 1 = counterclockwise) and no agents: all views equal.
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        assert_eq!(symmetricity_of_labeling(&bc), 6);
+    }
+
+    #[test]
+    fn agents_shrink_view_classes() {
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[0]).unwrap();
+        // One home-base breaks rotational symmetry; only the reflection
+        // through node 0 can survive, but ports are chiral (0 = +1), so
+        // classes become singletons.
+        assert_eq!(symmetricity_of_labeling(&bc), 1);
+    }
+
+    #[test]
+    fn antipodal_agents_keep_symmetricity_two() {
+        let g = families::cycle(6).unwrap();
+        let bc = Bicolored::new(g, &[0, 3]).unwrap();
+        assert_eq!(symmetricity_of_labeling(&bc), 2);
+    }
+
+    #[test]
+    fn refinement_matches_tree_oracle() {
+        for bc in [
+            Bicolored::new(families::cycle(5).unwrap(), &[0]).unwrap(),
+            Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap(),
+            Bicolored::new(families::hypercube(3).unwrap(), &[0, 7]).unwrap(),
+            Bicolored::new(families::path(4).unwrap(), &[]).unwrap(),
+        ] {
+            let part = view_partition(&bc);
+            for x in 0..bc.n() {
+                for y in (x + 1)..bc.n() {
+                    let by_refine = part.class[x] == part.class[y];
+                    let by_trees = views_equal_by_trees(&bc, x, y);
+                    assert_eq!(
+                        by_refine, by_trees,
+                        "refinement and tree oracle disagree on ({x},{y})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_tree_shape() {
+        let g = families::path(3).unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        let t = ViewTree::build(&bc, 1, 2);
+        assert_eq!(t.children.len(), 2);
+        assert_eq!(t.depth(), 2);
+        assert!(t.size() > 3);
+    }
+
+    #[test]
+    fn fig2b_first_seen_encoding_collides() {
+        // The paper's Fig. 2(b): path x-y-z with qualitative symbols
+        //   l_x({x,y}) = *, l_y({x,y}) = o, l_y({y,z}) = •, l_z({y,z}) = *.
+        // Walking x→z reads *, o, •, * and walking z→x reads *, •, o, *:
+        // both encode to 1,2,3,1 under first-seen coding.
+        let mut b = GraphBuilder::new(3);
+        // Symbols: * = 10, o = 20, • = 30.
+        b.add_edge_with_ports(0, 1, Port(10), Port(20)).unwrap();
+        b.add_edge_with_ports(1, 2, Port(30), Port(10)).unwrap();
+        let g = b.finish().unwrap();
+        let bc = Bicolored::new(g, &[0, 2]).unwrap();
+
+        // The actual views from x and z differ …
+        let vx = ViewTree::build(&bc, 0, 2);
+        let vz = ViewTree::build(&bc, 2, 2);
+        assert_ne!(vx, vz);
+        // … and view equivalence agrees (x and z are in different view
+        // classes because the *pairs* of labels along the path differ):
+        assert!(!views_equal_by_trees(&bc, 0, 2));
+        // … but the symbol sequences the two walking agents read encode
+        // identically: *, o, •, * and *, •, o, * both become 0, 1, 2, 0.
+        let from_x = path_walk_symbols(&bc, 0);
+        let from_z = path_walk_symbols(&bc, 2);
+        assert_eq!(from_x, vec![10, 20, 30, 10]);
+        assert_eq!(from_z, vec![10, 30, 20, 10]);
+        assert_ne!(from_x, from_z);
+        assert_eq!(first_seen_code(&from_x), first_seen_code(&from_z));
+        assert_eq!(first_seen_code(&from_x), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn fig2a_quantitative_views_are_orderable() {
+        // Same path with integer ports as in Fig. 2(a): all three views
+        // differ, and since ViewTree is Ord, they can be totally ordered —
+        // the quantitative world's luxury.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(0, 1, Port(1), Port(1)).unwrap();
+        b.add_edge_with_ports(1, 2, Port(2), Port(1)).unwrap();
+        let g = b.finish().unwrap();
+        let bc = Bicolored::new(g, &[]).unwrap();
+        let mut views: Vec<ViewTree> =
+            (0..3).map(|v| ViewTree::build(&bc, v, 2)).collect();
+        views.dedup();
+        assert_eq!(views.len(), 3);
+        views.sort();
+        assert!(views.windows(2).all(|w| w[0] < w[1]));
+    }
+}

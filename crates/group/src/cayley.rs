@@ -1,0 +1,360 @@
+//! Cayley graphs `Cay(Γ, S)` with their natural labeling and translations.
+//!
+//! Definition 1.2 of the paper: nodes are the elements of `Γ`, and
+//! `{a, b}` is an edge iff `b⁻¹·a ∈ S`, for a generating set `S = S⁻¹`.
+//! The elements of `S` induce the *natural edge-labeling*
+//! `l_x({x, x·s}) = s`, and the translations `φ_γ : a ↦ γ·a` are
+//! label-preserving automorphisms (generators act on the right,
+//! translations on the left — the pivotal observation in Theorem 4.1's
+//! proof).
+
+use crate::group::{FiniteGroup, GroupError, TableGroup};
+use crate::perm::Perm;
+use qelect_graph::{Graph, GraphBuilder, Port};
+
+/// A Cayley graph: the group, the generating set, and the port-labeled
+/// graph carrying the natural generator labeling.
+#[derive(Debug, Clone)]
+pub struct CayleyGraph {
+    group: TableGroup,
+    generators: Vec<usize>,
+    graph: Graph,
+}
+
+impl CayleyGraph {
+    /// Build `Cay(Γ, S)`.
+    ///
+    /// Validates: `S` non-empty, `id ∉ S`, `S = S⁻¹`, and `S` generates
+    /// `Γ` (connectivity). Ports: generator `S[i]` (sorted by element
+    /// index) uses port `i`; the edge `{a, a·s}` carries port `idx(s)` at
+    /// `a` and `idx(s⁻¹)` at `a·s`.
+    pub fn new<G: FiniteGroup>(group: &G, generators: &[usize]) -> Result<CayleyGraph, GroupError> {
+        let n = group.order();
+        let mut gens = generators.to_vec();
+        gens.sort_unstable();
+        gens.dedup();
+        if gens.is_empty() {
+            return Err(GroupError::BadParameter("empty generating set".into()));
+        }
+        if gens.contains(&group.identity()) {
+            return Err(GroupError::BadParameter("identity in generating set".into()));
+        }
+        if gens.iter().any(|&s| s >= n) {
+            return Err(GroupError::BadParameter("generator out of range".into()));
+        }
+        for &s in &gens {
+            if gens.binary_search(&group.inv(s)).is_err() {
+                return Err(GroupError::BadParameter(format!(
+                    "generating set not symmetric: inverse of {s} missing"
+                )));
+            }
+        }
+        if !group.generates(&gens) {
+            return Err(GroupError::BadParameter(
+                "set does not generate the group (graph would be disconnected)".into(),
+            ));
+        }
+        let idx_of = |s: usize| gens.binary_search(&s).expect("generator present") as u32;
+        let mut b = GraphBuilder::new(n);
+        for a in 0..n {
+            for &s in &gens {
+                let t = group.inv(s);
+                let w = group.mul(a, s);
+                if s == t {
+                    // Involution: add the edge once, same port both ends.
+                    if a < w {
+                        b.add_edge_with_ports(a, w, Port(idx_of(s)), Port(idx_of(s)))
+                            .map_err(|e| GroupError::BadParameter(e.to_string()))?;
+                    }
+                } else if s < t {
+                    // Add each {a, a·s} edge from the s-side only.
+                    b.add_edge_with_ports(a, w, Port(idx_of(s)), Port(idx_of(t)))
+                        .map_err(|e| GroupError::BadParameter(e.to_string()))?;
+                }
+            }
+        }
+        let graph = b
+            .finish()
+            .map_err(|e| GroupError::BadParameter(e.to_string()))?;
+        Ok(CayleyGraph {
+            group: group.to_table(),
+            generators: gens,
+            graph,
+        })
+    }
+
+    /// The underlying port-labeled graph (natural generator labeling).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The group.
+    pub fn group(&self) -> &TableGroup {
+        &self.group
+    }
+
+    /// The sorted generating set.
+    pub fn generators(&self) -> &[usize] {
+        &self.generators
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The translation `φ_γ : a ↦ γ·a` as a node permutation.
+    pub fn translation(&self, gamma: usize) -> Perm {
+        let images: Vec<u32> = (0..self.n())
+            .map(|a| self.group.mul(gamma, a) as u32)
+            .collect();
+        Perm(images)
+    }
+
+    /// All translations (the left-regular representation of `Γ`).
+    pub fn translations(&self) -> Vec<Perm> {
+        (0..self.n()).map(|g| self.translation(g)).collect()
+    }
+
+    /// The elements whose translations preserve the home-base coloring:
+    /// `{γ ∈ Γ : γ·B = B}` — a subgroup (the setwise stabilizer of `B`
+    /// in the left-regular action).
+    pub fn color_preserving_translations(&self, homebases: &[usize]) -> Vec<usize> {
+        let mut hb = homebases.to_vec();
+        hb.sort_unstable();
+        (0..self.n())
+            .filter(|&g| self.translation(g).stabilizes_set(&hb))
+            .collect()
+    }
+
+    /// Translation-equivalence classes of `(G, p)`: orbits of the
+    /// color-preserving translation subgroup. Because the action is free
+    /// (translations are fixed-point-free except the identity), **every
+    /// class has size `|stab(B)|`** — so the gcd of class sizes equals
+    /// that subgroup order.
+    pub fn translation_classes(&self, homebases: &[usize]) -> Vec<Vec<usize>> {
+        let stab = self.color_preserving_translations(homebases);
+        let mut class_of = vec![usize::MAX; self.n()];
+        let mut classes: Vec<Vec<usize>> = Vec::new();
+        for v in 0..self.n() {
+            if class_of[v] != usize::MAX {
+                continue;
+            }
+            let idx = classes.len();
+            let mut class = Vec::with_capacity(stab.len());
+            for &g in &stab {
+                let w = self.group.mul(g, v);
+                if class_of[w] == usize::MAX {
+                    class_of[w] = idx;
+                    class.push(w);
+                }
+            }
+            class.sort_unstable();
+            classes.push(class);
+        }
+        classes
+    }
+
+    /// `gcd` of the translation-class sizes — by freeness of the action
+    /// this is exactly the order of the color-preserving translation
+    /// subgroup.
+    pub fn translation_gcd(&self, homebases: &[usize]) -> usize {
+        self.color_preserving_translations(homebases).len()
+    }
+
+    // ----- convenience constructors for the families the paper names -----
+
+    /// `C_n = Cay(Z_n, {+1, −1})`.
+    pub fn cycle(n: usize) -> Result<CayleyGraph, GroupError> {
+        if n < 3 {
+            return Err(GroupError::BadParameter("cycle needs n >= 3".into()));
+        }
+        CayleyGraph::new(&crate::group::CyclicGroup(n), &[1, n - 1])
+    }
+
+    /// `Q_d = Cay(Z_2^d, {e_1, …, e_d})`.
+    pub fn hypercube(d: usize) -> Result<CayleyGraph, GroupError> {
+        let g = crate::group::DirectProductGroup::new(vec![2; d])?;
+        let gens: Vec<usize> = (0..d).map(|i| g.unit(i)).collect();
+        CayleyGraph::new(&g, &gens)
+    }
+
+    /// `K_n = Cay(Z_n, {1, …, n−1})`.
+    pub fn complete(n: usize) -> Result<CayleyGraph, GroupError> {
+        if n < 2 {
+            return Err(GroupError::BadParameter("complete needs n >= 2".into()));
+        }
+        let gens: Vec<usize> = (1..n).collect();
+        CayleyGraph::new(&crate::group::CyclicGroup(n), &gens)
+    }
+
+    /// Toroidal mesh `Cay(Z_{d_1} × … × Z_{d_k}, {±e_i})` (each `d_i ≥ 3`).
+    pub fn torus(dims: &[usize]) -> Result<CayleyGraph, GroupError> {
+        if dims.iter().any(|&d| d < 3) {
+            return Err(GroupError::BadParameter("torus dims must be >= 3".into()));
+        }
+        let g = crate::group::DirectProductGroup::new(dims.to_vec())?;
+        let mut gens = Vec::new();
+        for i in 0..dims.len() {
+            let e = g.unit(i);
+            gens.push(e);
+            gens.push(g.inv(e));
+        }
+        CayleyGraph::new(&g, &gens)
+    }
+
+    /// Circulant `Cay(Z_n, ±S)`.
+    pub fn circulant(n: usize, offsets: &[usize]) -> Result<CayleyGraph, GroupError> {
+        let z = crate::group::CyclicGroup(n);
+        let mut gens = Vec::new();
+        for &s in offsets {
+            if s == 0 || s >= n {
+                return Err(GroupError::BadParameter("offset out of range".into()));
+            }
+            gens.push(s);
+            gens.push(z.inv(s));
+        }
+        CayleyGraph::new(&z, &gens)
+    }
+
+    /// Star graph `S_k = Cay(Sym(k), {(0 1), …, (0 k−1)})`.
+    pub fn star_graph(k: usize) -> Result<CayleyGraph, GroupError> {
+        let s = crate::group::SymmetricGroup::new(k)?;
+        if k < 2 {
+            return Err(GroupError::BadParameter("star graph needs k >= 2".into()));
+        }
+        let gens: Vec<usize> = (1..k).map(|i| s.transposition_0(i)).collect();
+        CayleyGraph::new(&s, &gens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::Bicolored;
+
+    #[test]
+    fn cycle_matches_family_behavior() {
+        let cg = CayleyGraph::cycle(6).unwrap();
+        let g = cg.graph();
+        for v in 0..6 {
+            assert_eq!(g.move_along(v, Port(0)).unwrap().0, (v + 1) % 6);
+            assert_eq!(g.move_along(v, Port(1)).unwrap().0, (v + 5) % 6);
+        }
+    }
+
+    #[test]
+    fn hypercube_matches_family_behavior() {
+        let cg = CayleyGraph::hypercube(3).unwrap();
+        let g = cg.graph();
+        for v in 0..8usize {
+            for bit in 0..3 {
+                assert_eq!(g.move_along(v, Port(bit)).unwrap().0, v ^ (1 << bit));
+            }
+        }
+    }
+
+    #[test]
+    fn translations_are_label_preserving_automorphisms() {
+        let cg = CayleyGraph::cycle(5).unwrap();
+        let bc = Bicolored::new(cg.graph().clone(), &[]).unwrap();
+        let d = qelect_graph::ColoredDigraph::from_port_labeled(&bc);
+        for gamma in 0..5 {
+            let t = cg.translation(gamma);
+            let images: Vec<usize> = (0..5).map(|v| t.apply(v)).collect();
+            assert!(d.is_automorphism(&images), "translation {gamma} not label-preserving");
+        }
+    }
+
+    #[test]
+    fn nontrivial_translations_are_fixed_point_free() {
+        let cg = CayleyGraph::hypercube(3).unwrap();
+        for g in 1..8 {
+            assert!(cg.translation(g).is_fixed_point_free());
+        }
+    }
+
+    #[test]
+    fn antipodal_agents_on_even_cycle_gcd_two() {
+        // The paper's running example: C_n, n even, agents at 0 and n/2.
+        let cg = CayleyGraph::cycle(6).unwrap();
+        assert_eq!(cg.translation_gcd(&[0, 3]), 2);
+        let classes = cg.translation_classes(&[0, 3]);
+        assert_eq!(classes.len(), 3);
+        assert!(classes.iter().all(|c| c.len() == 2));
+        assert!(classes.contains(&vec![0, 3]));
+    }
+
+    #[test]
+    fn adjacent_agents_on_c4_z4_translations_trivial() {
+        // The documented Theorem 4.1 corner: the Z_4 rotations see no
+        // nontrivial color-preserving translation for adjacent agents.
+        let cg = CayleyGraph::cycle(4).unwrap();
+        assert_eq!(cg.translation_gcd(&[0, 1]), 1);
+        assert_eq!(cg.translation_classes(&[0, 1]).len(), 4);
+    }
+
+    #[test]
+    fn single_agent_always_gcd_one() {
+        for cg in [
+            CayleyGraph::cycle(7).unwrap(),
+            CayleyGraph::hypercube(3).unwrap(),
+            CayleyGraph::complete(5).unwrap(),
+        ] {
+            assert_eq!(cg.translation_gcd(&[0]), 1);
+        }
+    }
+
+    #[test]
+    fn full_placement_gcd_is_group_order() {
+        // Every node a home-base: the whole group preserves colors.
+        let cg = CayleyGraph::cycle(5).unwrap();
+        let all: Vec<usize> = (0..5).collect();
+        assert_eq!(cg.translation_gcd(&all), 5);
+    }
+
+    #[test]
+    fn complete_graph_structure() {
+        let cg = CayleyGraph::complete(5).unwrap();
+        assert_eq!(cg.graph().is_regular(), Some(4));
+        assert_eq!(cg.graph().m(), 10);
+    }
+
+    #[test]
+    fn torus_structure() {
+        let cg = CayleyGraph::torus(&[3, 4]).unwrap();
+        assert_eq!(cg.n(), 12);
+        assert_eq!(cg.graph().is_regular(), Some(4));
+    }
+
+    #[test]
+    fn star_graph_structure() {
+        let cg = CayleyGraph::star_graph(4).unwrap();
+        assert_eq!(cg.n(), 24);
+        assert_eq!(cg.graph().is_regular(), Some(3));
+    }
+
+    #[test]
+    fn validation_rejects_bad_generating_sets() {
+        let z6 = crate::group::CyclicGroup(6);
+        // Identity in S.
+        assert!(CayleyGraph::new(&z6, &[0, 1, 5]).is_err());
+        // Not symmetric.
+        assert!(CayleyGraph::new(&z6, &[1]).is_err());
+        // Does not generate (2 and 4 generate only the even elements).
+        assert!(CayleyGraph::new(&z6, &[2, 4]).is_err());
+        // Empty.
+        assert!(CayleyGraph::new(&z6, &[]).is_err());
+    }
+
+    #[test]
+    fn translation_classes_partition_nodes() {
+        let cg = CayleyGraph::hypercube(3).unwrap();
+        let classes = cg.translation_classes(&[0, 7]);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 8);
+        // Stabilizer of {000, 111}: {0, 7} since gamma^{-1}... in Z_2^3,
+        // gamma + {0,7} = {0,7} iff gamma in {0, 7}.
+        assert_eq!(cg.translation_gcd(&[0, 7]), 2);
+    }
+}

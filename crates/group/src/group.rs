@@ -1,0 +1,487 @@
+//! Finite groups: the trait, validated multiplication tables, and the
+//! standard families (cyclic, direct products, symmetric, dihedral).
+//!
+//! Elements are represented by indices `0..order`, with **element 0
+//! always the identity** — a convention every implementation upholds and
+//! [`TableGroup::new`] validates.
+
+use std::fmt;
+
+/// Errors raised while constructing groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The multiplication table is not square or out of range.
+    MalformedTable(String),
+    /// Element 0 does not behave as a two-sided identity.
+    BadIdentity,
+    /// Some element has no inverse.
+    MissingInverse(usize),
+    /// Associativity fails at the given triple.
+    NotAssociative(usize, usize, usize),
+    /// A parameter was invalid (e.g. empty direct product).
+    BadParameter(String),
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::MalformedTable(msg) => write!(f, "malformed table: {msg}"),
+            GroupError::BadIdentity => write!(f, "element 0 is not a two-sided identity"),
+            GroupError::MissingInverse(a) => write!(f, "element {a} has no inverse"),
+            GroupError::NotAssociative(a, b, c) => {
+                write!(f, "associativity fails at ({a}, {b}, {c})")
+            }
+            GroupError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// A finite group on elements `0..order()`, identity = 0.
+pub trait FiniteGroup {
+    /// Number of elements.
+    fn order(&self) -> usize;
+    /// Product `a · b`.
+    fn mul(&self, a: usize, b: usize) -> usize;
+    /// Inverse of `a`.
+    fn inv(&self, a: usize) -> usize;
+    /// Human-readable name.
+    fn name(&self) -> String;
+
+    /// The identity element (always 0 by convention).
+    fn identity(&self) -> usize {
+        0
+    }
+
+    /// Multiplicative order of an element.
+    fn element_order(&self, a: usize) -> usize {
+        let mut x = a;
+        let mut ord = 1;
+        while x != self.identity() {
+            x = self.mul(x, a);
+            ord += 1;
+        }
+        ord
+    }
+
+    /// Whether the group is abelian.
+    fn is_abelian(&self) -> bool {
+        let n = self.order();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.mul(a, b) != self.mul(b, a) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Closure of a set of elements: the subgroup it generates (as a
+    /// sorted element list).
+    fn generated_subgroup(&self, gens: &[usize]) -> Vec<usize> {
+        let mut in_set = vec![false; self.order()];
+        in_set[self.identity()] = true;
+        let mut frontier = vec![self.identity()];
+        while let Some(x) = frontier.pop() {
+            for &g in gens {
+                for y in [self.mul(x, g), self.mul(g, x)] {
+                    if !in_set[y] {
+                        in_set[y] = true;
+                        frontier.push(y);
+                    }
+                }
+            }
+        }
+        (0..self.order()).filter(|&v| in_set[v]).collect()
+    }
+
+    /// Whether `gens` generates the whole group.
+    fn generates(&self, gens: &[usize]) -> bool {
+        self.generated_subgroup(gens).len() == self.order()
+    }
+
+    /// Materialize into a validated multiplication table.
+    fn to_table(&self) -> TableGroup {
+        let n = self.order();
+        let mut table = vec![vec![0u32; n]; n];
+        for (a, row) in table.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
+                *cell = self.mul(a, b) as u32;
+            }
+        }
+        TableGroup::new(table, self.name()).expect("a FiniteGroup impl satisfies the axioms")
+    }
+}
+
+/// A group given by its full multiplication table, validated on
+/// construction (identity, inverses, associativity — `O(n³)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableGroup {
+    table: Vec<Vec<u32>>,
+    inv: Vec<u32>,
+    name: String,
+}
+
+impl TableGroup {
+    /// Validate and build. `table[a][b]` must be `a · b`, with element 0
+    /// the identity.
+    pub fn new(table: Vec<Vec<u32>>, name: String) -> Result<TableGroup, GroupError> {
+        let n = table.len();
+        if n == 0 {
+            return Err(GroupError::MalformedTable("empty".into()));
+        }
+        for row in &table {
+            if row.len() != n || row.iter().any(|&v| v as usize >= n) {
+                return Err(GroupError::MalformedTable("non-square or out of range".into()));
+            }
+        }
+        // Identity.
+        for a in 0..n {
+            if table[0][a] as usize != a || table[a][0] as usize != a {
+                return Err(GroupError::BadIdentity);
+            }
+        }
+        // Inverses.
+        let mut inv = vec![u32::MAX; n];
+        for a in 0..n {
+            match (0..n).find(|&b| table[a][b] == 0 && table[b][a] == 0) {
+                Some(b) => inv[a] = b as u32,
+                None => return Err(GroupError::MissingInverse(a)),
+            }
+        }
+        // Associativity.
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    let ab_c = table[table[a][b] as usize][c];
+                    let a_bc = table[a][table[b][c] as usize];
+                    if ab_c != a_bc {
+                        return Err(GroupError::NotAssociative(a, b, c));
+                    }
+                }
+            }
+        }
+        Ok(TableGroup { table, inv, name })
+    }
+}
+
+impl FiniteGroup for TableGroup {
+    fn order(&self) -> usize {
+        self.table.len()
+    }
+    fn mul(&self, a: usize, b: usize) -> usize {
+        self.table[a][b] as usize
+    }
+    fn inv(&self, a: usize) -> usize {
+        self.inv[a] as usize
+    }
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// The cyclic group `Z_n` under addition mod `n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CyclicGroup(pub usize);
+
+impl FiniteGroup for CyclicGroup {
+    fn order(&self) -> usize {
+        self.0
+    }
+    fn mul(&self, a: usize, b: usize) -> usize {
+        (a + b) % self.0
+    }
+    fn inv(&self, a: usize) -> usize {
+        (self.0 - a) % self.0
+    }
+    fn name(&self) -> String {
+        format!("Z_{}", self.0)
+    }
+}
+
+/// A direct product `Z_{m_1} × … × Z_{m_k}` (covers `Z_2^d` for
+/// hypercubes and arbitrary toroidal meshes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectProductGroup {
+    moduli: Vec<usize>,
+    order: usize,
+}
+
+impl DirectProductGroup {
+    /// Build from the list of moduli (each ≥ 2).
+    pub fn new(moduli: Vec<usize>) -> Result<DirectProductGroup, GroupError> {
+        if moduli.is_empty() || moduli.iter().any(|&m| m < 2) {
+            return Err(GroupError::BadParameter(
+                "direct product needs moduli all >= 2".into(),
+            ));
+        }
+        let order = moduli.iter().product();
+        Ok(DirectProductGroup { moduli, order })
+    }
+
+    /// Decode an element index into its coordinate vector.
+    pub fn coords(&self, mut a: usize) -> Vec<usize> {
+        let mut c = Vec::with_capacity(self.moduli.len());
+        for &m in &self.moduli {
+            c.push(a % m);
+            a /= m;
+        }
+        c
+    }
+
+    /// Encode a coordinate vector into an element index.
+    pub fn encode(&self, coords: &[usize]) -> usize {
+        let mut a = 0;
+        let mut stride = 1;
+        for (c, &m) in coords.iter().zip(&self.moduli) {
+            a += (c % m) * stride;
+            stride *= m;
+        }
+        a
+    }
+
+    /// The unit vector `e_i` as an element index.
+    pub fn unit(&self, i: usize) -> usize {
+        let mut coords = vec![0; self.moduli.len()];
+        coords[i] = 1;
+        self.encode(&coords)
+    }
+}
+
+impl FiniteGroup for DirectProductGroup {
+    fn order(&self) -> usize {
+        self.order
+    }
+    fn mul(&self, a: usize, b: usize) -> usize {
+        let (ca, cb) = (self.coords(a), self.coords(b));
+        let sum: Vec<usize> = ca
+            .iter()
+            .zip(&cb)
+            .zip(&self.moduli)
+            .map(|((&x, &y), &m)| (x + y) % m)
+            .collect();
+        self.encode(&sum)
+    }
+    fn inv(&self, a: usize) -> usize {
+        let neg: Vec<usize> = self
+            .coords(a)
+            .iter()
+            .zip(&self.moduli)
+            .map(|(&x, &m)| (m - x) % m)
+            .collect();
+        self.encode(&neg)
+    }
+    fn name(&self) -> String {
+        let parts: Vec<String> = self.moduli.iter().map(|m| format!("Z_{m}")).collect();
+        parts.join(" x ")
+    }
+}
+
+/// The symmetric group `Sym(k)`, elements indexed by lexicographic rank
+/// of the permutation. Identity (rank 0) is the identity permutation.
+#[derive(Debug, Clone)]
+pub struct SymmetricGroup {
+    k: usize,
+    perms: Vec<Vec<u8>>,
+    index: std::collections::HashMap<Vec<u8>, usize>,
+}
+
+impl SymmetricGroup {
+    /// Build `Sym(k)`, `1 ≤ k ≤ 8`.
+    pub fn new(k: usize) -> Result<SymmetricGroup, GroupError> {
+        if !(1..=8).contains(&k) {
+            return Err(GroupError::BadParameter("Sym(k) needs 1 <= k <= 8".into()));
+        }
+        let perms = lex_permutations(k);
+        let index = perms
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, p)| (p, i))
+            .collect();
+        Ok(SymmetricGroup { k, perms, index })
+    }
+
+    /// The element index of the transposition `(0 i)`.
+    pub fn transposition_0(&self, i: usize) -> usize {
+        let mut p: Vec<u8> = (0..self.k as u8).collect();
+        p.swap(0, i);
+        self.index[&p]
+    }
+
+    /// The permutation (as images) of element `a`.
+    pub fn perm_of(&self, a: usize) -> &[u8] {
+        &self.perms[a]
+    }
+}
+
+fn lex_permutations(k: usize) -> Vec<Vec<u8>> {
+    let mut cur: Vec<u8> = (0..k as u8).collect();
+    let mut out = vec![cur.clone()];
+    loop {
+        let mut i = k.wrapping_sub(1);
+        while i > 0 && cur[i - 1] >= cur[i] {
+            i -= 1;
+        }
+        if i == 0 {
+            break;
+        }
+        let mut j = k - 1;
+        while cur[j] <= cur[i - 1] {
+            j -= 1;
+        }
+        cur.swap(i - 1, j);
+        cur[i..].reverse();
+        out.push(cur.clone());
+    }
+    out
+}
+
+impl FiniteGroup for SymmetricGroup {
+    fn order(&self) -> usize {
+        self.perms.len()
+    }
+    fn mul(&self, a: usize, b: usize) -> usize {
+        // (a·b)(x) = a(b(x)).
+        let (pa, pb) = (&self.perms[a], &self.perms[b]);
+        let prod: Vec<u8> = (0..self.k).map(|x| pa[pb[x] as usize]).collect();
+        self.index[&prod]
+    }
+    fn inv(&self, a: usize) -> usize {
+        let pa = &self.perms[a];
+        let mut inv = vec![0u8; self.k];
+        for (i, &img) in pa.iter().enumerate() {
+            inv[img as usize] = i as u8;
+        }
+        self.index[&inv]
+    }
+    fn name(&self) -> String {
+        format!("Sym({})", self.k)
+    }
+}
+
+/// The dihedral group `D_n` of order `2n`: elements `0..n` are rotations
+/// `r^i`, elements `n..2n` are reflections `s·r^i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DihedralGroup(pub usize);
+
+impl FiniteGroup for DihedralGroup {
+    fn order(&self) -> usize {
+        2 * self.0
+    }
+    fn mul(&self, a: usize, b: usize) -> usize {
+        let n = self.0;
+        // Presentation: r^n = s² = 1, s·r = r⁻¹·s.
+        let (ra, sa) = (a % n, a >= n);
+        let (rb, sb) = (b % n, b >= n);
+        // (s^sa r^ra)(s^sb r^rb) = s^(sa⊕sb) r^(±ra + rb)
+        let rot = if sb {
+            // r^ra · s = s · r^{-ra}
+            (n - ra + rb) % n
+        } else {
+            (ra + rb) % n
+        };
+        rot + if sa ^ sb { n } else { 0 }
+    }
+    fn inv(&self, a: usize) -> usize {
+        let n = self.0;
+        if a < n {
+            (n - a) % n
+        } else {
+            a // reflections are involutions: (s r^i)⁻¹ = s r^i
+        }
+    }
+    fn name(&self) -> String {
+        format!("D_{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validate<G: FiniteGroup>(g: &G) {
+        // to_table() runs the full axiom validation.
+        let t = g.to_table();
+        assert_eq!(t.order(), g.order());
+    }
+
+    #[test]
+    fn cyclic_group_axioms() {
+        validate(&CyclicGroup(7));
+        let z6 = CyclicGroup(6);
+        assert_eq!(z6.mul(4, 5), 3);
+        assert_eq!(z6.inv(2), 4);
+        assert_eq!(z6.element_order(2), 3);
+        assert!(z6.is_abelian());
+    }
+
+    #[test]
+    fn direct_product_axioms() {
+        let g = DirectProductGroup::new(vec![2, 2, 2]).unwrap();
+        validate(&g);
+        assert_eq!(g.order(), 8);
+        assert!(g.is_abelian());
+        // Every non-identity element of Z_2^3 has order 2.
+        for a in 1..8 {
+            assert_eq!(g.element_order(a), 2);
+        }
+        // Units generate.
+        assert!(g.generates(&[g.unit(0), g.unit(1), g.unit(2)]));
+        assert!(!g.generates(&[g.unit(0), g.unit(1)]));
+    }
+
+    #[test]
+    fn direct_product_encode_roundtrip() {
+        let g = DirectProductGroup::new(vec![3, 4, 5]).unwrap();
+        for a in 0..g.order() {
+            assert_eq!(g.encode(&g.coords(a)), a);
+        }
+    }
+
+    #[test]
+    fn symmetric_group_axioms() {
+        let s3 = SymmetricGroup::new(3).unwrap();
+        validate(&s3);
+        assert_eq!(s3.order(), 6);
+        assert!(!s3.is_abelian());
+        let t1 = s3.transposition_0(1);
+        let t2 = s3.transposition_0(2);
+        assert_eq!(s3.element_order(t1), 2);
+        assert!(s3.generates(&[t1, t2]));
+    }
+
+    #[test]
+    fn dihedral_group_axioms() {
+        let d4 = DihedralGroup(4);
+        validate(&d4);
+        assert_eq!(d4.order(), 8);
+        assert!(!d4.is_abelian());
+        assert_eq!(d4.element_order(1), 4); // rotation r
+        assert_eq!(d4.element_order(4), 2); // reflection s
+    }
+
+    #[test]
+    fn table_group_validation_rejects_bad_tables() {
+        // Z_2 with broken identity.
+        let bad = vec![vec![1, 0], vec![0, 1]];
+        assert!(matches!(
+            TableGroup::new(bad, "bad".into()),
+            Err(GroupError::BadIdentity)
+        ));
+        // Non-associative magma on 3 elements (identity fine).
+        let magma = vec![vec![0, 1, 2], vec![1, 0, 1], vec![2, 2, 0]];
+        let err = TableGroup::new(magma, "magma".into());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn generated_subgroup_of_z6() {
+        let z6 = CyclicGroup(6);
+        assert_eq!(z6.generated_subgroup(&[2]), vec![0, 2, 4]);
+        assert_eq!(z6.generated_subgroup(&[1]).len(), 6);
+        assert_eq!(z6.generated_subgroup(&[]), vec![0]);
+    }
+}

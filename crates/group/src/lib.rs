@@ -1,0 +1,64 @@
+//! # qelect-group — finite groups, Cayley graphs, translations
+//!
+//! The paper's main result (Theorem 4.1) concerns anonymous **Cayley
+//! graphs** `Cay(Γ, S)`: nodes are the elements of a finite group `Γ`,
+//! edges follow a symmetric generating set `S = S⁻¹`, and *translations*
+//! `φ_γ : a ↦ γ·a` form a regular subgroup of the automorphism group.
+//! This crate provides:
+//!
+//! * permutations and finite groups ([`perm`], [`group`]): cyclic groups,
+//!   direct products, symmetric and dihedral groups, and table-backed
+//!   groups validated against the group axioms;
+//! * Cayley graph construction with the natural generator port labeling
+//!   ([`cayley`]), translations, and translation-equivalence classes of a
+//!   placed instance `(G, p)`;
+//! * Cayley **recognition** ([`recognition`]): enumerate the regular
+//!   subgroups of `Aut(G)` by transversal backtracking with closure
+//!   propagation — the decision procedure the effectual protocol runs
+//!   after map drawing ("test whether G is a Cayley graph; it is
+//!   time-consuming, but decidable");
+//! * the executable **Theorem 4.1 marking construction** ([`marking`]):
+//!   from translation classes with gcd `d > 1`, derive an edge labeling
+//!   whose label-equivalence classes all have size `d`, triggering the
+//!   Theorem 2.1 impossibility.
+//!
+//! ## A faithfulness note (documented gap)
+//!
+//! Theorem 4.1 fixes *one* translation group. But distinct regular
+//! subgroups of `Aut(G)` can disagree: on `C₄` with two **adjacent**
+//! agents, the rotation group `Z₄` has only the trivial color-preserving
+//! translation (class gcd 1), while the Klein group of edge-reflections
+//! has a nontrivial one (class gcd 2) — and election there is genuinely
+//! impossible (a reflection-symmetric labeling is a Theorem 2.1 witness).
+//! Our protocol therefore tests **every** regular subgroup it can find:
+//! any subgroup with translation-gcd > 1 certifies impossibility (the
+//! paper's own proof applies verbatim per subgroup). The experiment suite
+//! (E5) probes the remaining corner empirically.
+
+//! ```
+//! use qelect_group::CayleyGraph;
+//!
+//! // C6 = Cay(Z6, {+1, -1}); antipodal home-bases have a nontrivial
+//! // color-preserving translation (+3), so the translation gcd is 2.
+//! let cg = CayleyGraph::cycle(6).unwrap();
+//! assert_eq!(cg.translation_gcd(&[0, 3]), 2);
+//! assert_eq!(cg.translation_gcd(&[0, 2]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cayley;
+pub mod classify;
+pub mod group;
+pub mod marking;
+pub mod perm;
+pub mod recognition;
+pub mod sabidussi;
+
+pub use cayley::CayleyGraph;
+pub use group::{
+    CyclicGroup, DihedralGroup, DirectProductGroup, FiniteGroup, GroupError, SymmetricGroup,
+    TableGroup,
+};
+pub use perm::Perm;

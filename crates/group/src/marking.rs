@@ -1,0 +1,223 @@
+//! The Theorem 4.1 edge-marking construction, executable.
+//!
+//! The negative direction of Theorem 4.1 proves: if the translation
+//! classes of `(Cay(Γ, S), p)` have gcd `d > 1`, then the *natural
+//! generator labeling* has label-equivalence classes all of size `d` —
+//! so Theorem 2.1 applies and election is impossible. The proof refines
+//! the translation classes step by step: it repeatedly takes two
+//! pseudo-classes `C, C'` of different sizes joined by a generator `s`,
+//! marks the `s`-edges from `C` into `C·s ⊆ C'`, and splits `C'` into
+//! `C·s` and `C' \ C·s` — a subtractive-Euclid step on class sizes that
+//! keeps the gcd invariant and terminates with all classes of size `d`.
+//!
+//! [`marking_schedule`] executes that proof verbatim, recording every
+//! step and asserting the paper's invariants (`|C·s| = |C|`, gcd
+//! preservation). The final labeling witness is checked against the
+//! independent Definition 2.2 machinery of `qelect-graph`.
+
+use crate::cayley::CayleyGraph;
+use qelect_graph::surrounding::gcd;
+
+/// One refinement step of the construction.
+#[derive(Debug, Clone)]
+pub struct MarkingStep {
+    /// The smaller class `C` (by node list).
+    pub class_c: Vec<usize>,
+    /// The class `C'` being split.
+    pub class_c_prime: Vec<usize>,
+    /// The generator used.
+    pub generator: usize,
+    /// `C·s` — the part split off (equal in size to `C`).
+    pub cs: Vec<usize>,
+}
+
+/// The full trace of the construction.
+#[derive(Debug, Clone)]
+pub struct MarkingTrace {
+    /// Initial translation classes.
+    pub initial_classes: Vec<Vec<usize>>,
+    /// The refinement steps, in order.
+    pub steps: Vec<MarkingStep>,
+    /// The final pseudo-label-equivalence classes (all of size `d`).
+    pub final_classes: Vec<Vec<usize>>,
+    /// The invariant gcd `d`.
+    pub d: usize,
+}
+
+/// Execute the Theorem 4.1 proof construction on a Cayley instance.
+///
+/// Starting from the translation classes of `(G, p)` (gcd `d`), refine by
+/// the paper's rule until all pseudo-classes have size `d`. Panics if a
+/// paper invariant is violated (none can be, for a valid Cayley graph —
+/// the assertions are the executable proof).
+pub fn marking_schedule(cg: &CayleyGraph, homebases: &[usize]) -> MarkingTrace {
+    use crate::group::FiniteGroup;
+    let group = cg.group();
+    let initial = cg.translation_classes(homebases);
+    let d = cg.translation_gcd(homebases);
+    let mut classes = initial.clone();
+    let mut steps = Vec::new();
+
+    loop {
+        // All classes the same size? Then we are done; that size is d.
+        let sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
+        if sizes.iter().all(|&s| s == sizes[0]) {
+            assert_eq!(sizes[0], d, "final classes must have size d (Thm 4.1)");
+            break;
+        }
+        // Find two adjacent classes of different sizes, and a generator
+        // leading from the smaller into the larger.
+        let mut found = None;
+        'outer: for (i, ci) in classes.iter().enumerate() {
+            for (j, cj) in classes.iter().enumerate() {
+                if i == j || ci.len() >= cj.len() {
+                    continue;
+                }
+                // Generator from C into C'?
+                for &s in cg.generators() {
+                    let target = group.mul(ci[0], s);
+                    if cj.binary_search(&target).is_ok() {
+                        found = Some((i, j, s));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (i, j, s) = found.expect(
+            "classes of different sizes must be linked by a generator (connectivity)",
+        );
+        // C·s: by translation-invariance of the labeling, *every* node of
+        // C has its s-edge into C' (the proof's key claim).
+        let c = classes[i].clone();
+        let cprime = classes[j].clone();
+        let mut cs: Vec<usize> = c.iter().map(|&x| group.mul(x, s)).collect();
+        cs.sort_unstable();
+        // Paper invariants.
+        assert_eq!(cs.len(), c.len(), "|C·s| = |C| (translations act freely)");
+        for &y in &cs {
+            assert!(
+                cprime.binary_search(&y).is_ok(),
+                "C·s ⊆ C' (claim in Thm 4.1's proof)"
+            );
+        }
+        let remainder: Vec<usize> = cprime
+            .iter()
+            .copied()
+            .filter(|y| cs.binary_search(y).is_err())
+            .collect();
+        // gcd preservation: gcd(|C|, |Cs|, |C'\Cs|) = gcd(|C|, |C'|).
+        let before = gcd(c.len(), cprime.len());
+        let after = gcd(gcd(c.len(), cs.len()), remainder.len().max(0));
+        assert_eq!(before, after, "Euclid step preserves the gcd");
+
+        steps.push(MarkingStep {
+            class_c: c,
+            class_c_prime: cprime,
+            generator: s,
+            cs: cs.clone(),
+        });
+        // Replace C' by the two parts.
+        classes[j] = cs;
+        classes.push(remainder);
+        classes.retain(|cl| !cl.is_empty());
+    }
+
+    MarkingTrace {
+        initial_classes: initial,
+        steps,
+        final_classes: classes,
+        d,
+    }
+}
+
+/// The Theorem 4.1 impossibility witness: under the natural generator
+/// labeling that `CayleyGraph` already carries, the label-equivalence
+/// classes (Definition 2.2) of `(G, p)` have size exactly
+/// `d = translation_gcd`. Verified against the independent
+/// automorphism-based machinery; returns `d`.
+pub fn verify_witness_labeling(cg: &CayleyGraph, homebases: &[usize]) -> usize {
+    let d = cg.translation_gcd(homebases);
+    let bc = qelect_graph::Bicolored::new(cg.graph().clone(), homebases)
+        .expect("valid placement");
+    let lab = qelect_graph::automorphism::lab_class_common_size(&bc)
+        .expect("Lemma 2.1: equal sizes");
+    assert!(
+        lab >= d,
+        "label classes can be no finer than translation classes"
+    );
+    lab
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn antipodal_cycle_trace() {
+        // C6, agents at {0, 3}: translation classes of size 2, d = 2.
+        let cg = CayleyGraph::cycle(6).unwrap();
+        let trace = marking_schedule(&cg, &[0, 3]);
+        assert_eq!(trace.d, 2);
+        // Classes were already uniform: no steps needed.
+        assert!(trace.steps.is_empty());
+        assert!(trace.final_classes.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn single_agent_on_cycle_needs_refinement() {
+        // C5 with one agent: translation classes are singletons (d = 1),
+        // which are uniform — no steps.
+        let cg = CayleyGraph::cycle(5).unwrap();
+        let trace = marking_schedule(&cg, &[0]);
+        assert_eq!(trace.d, 1);
+        assert!(trace.final_classes.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn uneven_classes_get_refined() {
+        // C6 with agents {0, 2, 3}: stabilizer of B in Z6 is trivial
+        // (d = 1), classes are singletons already.
+        let cg = CayleyGraph::cycle(6).unwrap();
+        let trace = marking_schedule(&cg, &[0, 2, 3]);
+        assert_eq!(trace.d, 1);
+
+        // Hypercube with agents {0, 3}: stabilizer {0, 3} (gamma = 3 =
+        // 011 maps {000, 011} to {011, 000}), d = 2, classes uniform of
+        // size 2.
+        let cg = CayleyGraph::hypercube(3).unwrap();
+        let trace = marking_schedule(&cg, &[0, 3]);
+        assert_eq!(trace.d, 2);
+        assert!(trace.final_classes.iter().all(|c| c.len() == 2));
+    }
+
+    #[test]
+    fn witness_labeling_verified_on_impossible_instances() {
+        // C6 antipodal: d = 2 and the natural labeling indeed has lab
+        // classes of size >= 2 → election impossible by Theorem 2.1.
+        let cg = CayleyGraph::cycle(6).unwrap();
+        let lab = verify_witness_labeling(&cg, &[0, 3]);
+        assert!(lab > 1);
+
+        let cg = CayleyGraph::hypercube(3).unwrap();
+        let lab = verify_witness_labeling(&cg, &[0, 7]);
+        assert!(lab > 1);
+    }
+
+    #[test]
+    fn witness_labeling_on_solvable_instance() {
+        // C5 with one agent: d = 1 and the natural labeling has singleton
+        // lab classes (the home-base breaks every translation).
+        let cg = CayleyGraph::cycle(5).unwrap();
+        assert_eq!(verify_witness_labeling(&cg, &[0]), 1);
+    }
+
+    #[test]
+    fn trace_classes_always_partition() {
+        let cg = CayleyGraph::torus(&[3, 3]).unwrap();
+        for hb in [vec![0], vec![0, 4], vec![0, 1, 2]] {
+            let trace = marking_schedule(&cg, &hb);
+            let total: usize = trace.final_classes.iter().map(|c| c.len()).sum();
+            assert_eq!(total, 9);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Permutations on `0..n`.
+
+use std::fmt;
+
+/// A permutation of `0..n`, stored as the image vector: `p[i]` is the
+/// image of `i`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Perm(pub Vec<u32>);
+
+impl Perm {
+    /// The identity on `0..n`.
+    pub fn identity(n: usize) -> Perm {
+        Perm((0..n as u32).collect())
+    }
+
+    /// Build from an image vector, validating bijectivity.
+    pub fn from_images(images: Vec<u32>) -> Option<Perm> {
+        let n = images.len();
+        let mut seen = vec![false; n];
+        for &img in &images {
+            let i = img as usize;
+            if i >= n || seen[i] {
+                return None;
+            }
+            seen[i] = true;
+        }
+        Some(Perm(images))
+    }
+
+    /// Build from `usize` images (convenience for interop with
+    /// `qelect-graph` automorphisms).
+    pub fn from_usizes(images: &[usize]) -> Option<Perm> {
+        Perm::from_images(images.iter().map(|&v| v as u32).collect())
+    }
+
+    /// Degree `n`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Image of a point.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.0[i] as usize
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    pub fn compose(&self, other: &Perm) -> Perm {
+        debug_assert_eq!(self.degree(), other.degree());
+        Perm(other.0.iter().map(|&i| self.0[i as usize]).collect())
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Perm {
+        let mut inv = vec![0u32; self.degree()];
+        for (i, &img) in self.0.iter().enumerate() {
+            inv[img as usize] = i as u32;
+        }
+        Perm(inv)
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.0.iter().enumerate().all(|(i, &img)| i as u32 == img)
+    }
+
+    /// Whether the permutation moves every point (is fixed-point-free).
+    /// Every non-identity element of a regular subgroup is.
+    pub fn is_fixed_point_free(&self) -> bool {
+        self.0.iter().enumerate().all(|(i, &img)| i as u32 != img)
+    }
+
+    /// Multiplicative order of the permutation.
+    pub fn order(&self) -> usize {
+        let mut p = self.clone();
+        let mut ord = 1;
+        while !p.is_identity() {
+            p = p.compose(self);
+            ord += 1;
+        }
+        ord
+    }
+
+    /// Whether the permutation setwise stabilizes the given sorted set.
+    pub fn stabilizes_set(&self, set: &[usize]) -> bool {
+        set.iter().all(|&v| set.binary_search(&self.apply(v)).is_ok())
+    }
+
+    /// Cycle structure as sorted cycle lengths.
+    pub fn cycle_type(&self) -> Vec<usize> {
+        let n = self.degree();
+        let mut seen = vec![false; n];
+        let mut cycles = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut len = 0;
+            let mut v = start;
+            while !seen[v] {
+                seen[v] = true;
+                v = self.apply(v);
+                len += 1;
+            }
+            cycles.push(len);
+        }
+        cycles.sort_unstable();
+        cycles
+    }
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, img) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{img}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let id = Perm::identity(5);
+        assert!(id.is_identity());
+        assert!(!id.is_fixed_point_free());
+        assert_eq!(id.order(), 1);
+        assert_eq!(id.inverse(), id);
+    }
+
+    #[test]
+    fn compose_order() {
+        // s = (0 1), t = (1 2): s∘t sends 2→1→0? t(2)=1, s(1)=0 → yes.
+        let s = Perm::from_images(vec![1, 0, 2]).unwrap();
+        let t = Perm::from_images(vec![0, 2, 1]).unwrap();
+        let st = s.compose(&t);
+        assert_eq!(st.apply(2), 0);
+        assert_eq!(st.apply(0), 1);
+        assert_eq!(st.apply(1), 2);
+        assert_eq!(st.order(), 3);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Perm::from_images(vec![2, 0, 3, 1]).unwrap();
+        assert!(p.compose(&p.inverse()).is_identity());
+        assert!(p.inverse().compose(&p).is_identity());
+    }
+
+    #[test]
+    fn rejects_non_bijections() {
+        assert!(Perm::from_images(vec![0, 0, 1]).is_none());
+        assert!(Perm::from_images(vec![0, 3]).is_none());
+    }
+
+    #[test]
+    fn fixed_point_free_detection() {
+        let rot = Perm::from_images(vec![1, 2, 3, 0]).unwrap();
+        assert!(rot.is_fixed_point_free());
+        assert_eq!(rot.order(), 4);
+        let refl = Perm::from_images(vec![0, 3, 2, 1]).unwrap();
+        assert!(!refl.is_fixed_point_free());
+    }
+
+    #[test]
+    fn set_stabilizer() {
+        let rot = Perm::from_images(vec![1, 2, 3, 0]).unwrap();
+        assert!(!rot.stabilizes_set(&[0, 1]));
+        let swap = Perm::from_images(vec![1, 0, 3, 2]).unwrap();
+        assert!(swap.stabilizes_set(&[0, 1]));
+        assert!(swap.stabilizes_set(&[2, 3]));
+    }
+
+    #[test]
+    fn cycle_type() {
+        let p = Perm::from_images(vec![1, 0, 3, 4, 2]).unwrap();
+        assert_eq!(p.cycle_type(), vec![2, 3]);
+        assert_eq!(Perm::identity(3).cycle_type(), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,476 @@
+//! Cayley recognition: regular subgroups of `Aut(G)`.
+//!
+//! A graph `G` is a Cayley graph iff `Aut(G)` contains a subgroup acting
+//! *regularly* on the nodes (sharply transitively — Sabidussi). The
+//! effectual protocol of Theorem 4.1 needs this decision (“they test
+//! whether G is a Cayley graph; it is time-consuming, but decidable”)
+//! *and*, per the documented faithfulness note in the crate docs, it
+//! benefits from enumerating **all** regular subgroups: each one whose
+//! color-preserving translation subgroup is nontrivial certifies
+//! impossibility of election.
+//!
+//! The search: fix base node `0`; a regular subgroup is a choice of one
+//! automorphism `φ_v` with `φ_v(0) = v` per node `v`, closed under
+//! composition (`φ_u ∘ φ_w = φ_{φ_u(w)}`). We backtrack over the choice
+//! for the least unassigned node, propagating closure eagerly and failing
+//! on the first conflict. Budgets bound the automorphism enumeration and
+//! the backtrack size; exceeding a budget yields an explicit
+//! `Incomplete` flag rather than a silent wrong answer.
+
+use crate::group::TableGroup;
+use crate::perm::Perm;
+use qelect_graph::canon::canonicalize;
+use qelect_graph::{Bicolored, ColoredDigraph, Graph};
+use std::collections::HashMap;
+
+/// Budgets for the recognition search.
+#[derive(Debug, Clone, Copy)]
+pub struct RecognitionBudget {
+    /// Maximum number of automorphisms to enumerate.
+    pub max_automorphisms: usize,
+    /// Maximum number of regular subgroups to collect.
+    pub max_subgroups: usize,
+    /// Maximum number of backtrack nodes to expand.
+    pub max_backtrack_nodes: usize,
+}
+
+impl Default for RecognitionBudget {
+    fn default() -> Self {
+        RecognitionBudget {
+            max_automorphisms: 200_000,
+            max_subgroups: 64,
+            max_backtrack_nodes: 2_000_000,
+        }
+    }
+}
+
+/// A regular subgroup `R ≤ Aut(G)`: exactly one element per node, with
+/// `element(v)` mapping the base node 0 to `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegularSubgroup {
+    /// `elements[v]` is the unique `φ_v ∈ R` with `φ_v(0) = v`.
+    pub elements: Vec<Perm>,
+}
+
+impl RegularSubgroup {
+    /// Group order = number of nodes.
+    pub fn order(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Product in the node indexing: `u · w = φ_u(w)`.
+    pub fn mul(&self, u: usize, w: usize) -> usize {
+        self.elements[u].apply(w)
+    }
+
+    /// Materialize the abstract group (indices = nodes, identity = node 0).
+    pub fn to_table_group(&self) -> TableGroup {
+        let n = self.order();
+        let table: Vec<Vec<u32>> = (0..n)
+            .map(|u| (0..n).map(|w| self.mul(u, w) as u32).collect())
+            .collect();
+        TableGroup::new(table, format!("recognized-regular-{n}"))
+            .expect("a regular subgroup satisfies the group axioms")
+    }
+
+    /// Elements whose permutation setwise stabilizes the home-base set.
+    pub fn color_preserving(&self, homebases: &[usize]) -> Vec<usize> {
+        let mut hb = homebases.to_vec();
+        hb.sort_unstable();
+        (0..self.order())
+            .filter(|&v| self.elements[v].stabilizes_set(&hb))
+            .collect()
+    }
+
+    /// Translation classes of `(G, p)` under this subgroup: orbits of the
+    /// color-preserving translations. All classes share the size
+    /// `|color_preserving|` (free action), which therefore equals the gcd.
+    pub fn translation_classes(&self, homebases: &[usize]) -> Vec<Vec<usize>> {
+        let stab = self.color_preserving(homebases);
+        let n = self.order();
+        let mut class_of = vec![usize::MAX; n];
+        let mut classes = Vec::new();
+        for v in 0..n {
+            if class_of[v] != usize::MAX {
+                continue;
+            }
+            let idx = classes.len();
+            let mut class = Vec::new();
+            for &g in &stab {
+                let w = self.elements[g].apply(v);
+                if class_of[w] == usize::MAX {
+                    class_of[w] = idx;
+                    class.push(w);
+                }
+            }
+            class.sort_unstable();
+            classes.push(class);
+        }
+        classes
+    }
+
+    /// The gcd of the translation-class sizes — the order of the
+    /// color-preserving translation subgroup.
+    pub fn translation_gcd(&self, homebases: &[usize]) -> usize {
+        self.color_preserving(homebases).len()
+    }
+
+    /// A deterministic key for ordering/deduplicating subgroups.
+    fn key(&self) -> Vec<Vec<u32>> {
+        let mut k: Vec<Vec<u32>> = self.elements.iter().map(|p| p.0.clone()).collect();
+        k.sort();
+        k
+    }
+}
+
+/// Outcome of a recognition run.
+#[derive(Debug, Clone)]
+pub struct Recognition {
+    /// The regular subgroups found, in deterministic search order,
+    /// deduplicated.
+    pub subgroups: Vec<RegularSubgroup>,
+    /// Whether the search exhausted the space (false = a budget was hit,
+    /// so absence of subgroups is inconclusive).
+    pub complete: bool,
+    /// Number of automorphisms of the (uncolored) graph, if enumeration
+    /// completed.
+    pub automorphism_count: Option<usize>,
+}
+
+impl Recognition {
+    /// `Some(true)`: is Cayley. `Some(false)`: is not (search was
+    /// complete). `None`: inconclusive (budget).
+    pub fn is_cayley(&self) -> Option<bool> {
+        if !self.subgroups.is_empty() {
+            Some(true)
+        } else if self.complete {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical regular subgroup: the deterministically-least one.
+    pub fn canonical(&self) -> Option<&RegularSubgroup> {
+        self.subgroups.first()
+    }
+
+    /// The maximum translation-gcd over all found subgroups, with the
+    /// witnessing subgroup. Any value > 1 certifies that election is
+    /// impossible for the placement (Theorem 4.1's negative direction,
+    /// applied per subgroup).
+    pub fn max_translation_gcd(&self, homebases: &[usize]) -> Option<(usize, &RegularSubgroup)> {
+        self.subgroups
+            .iter()
+            .map(|r| (r.translation_gcd(homebases), r))
+            .max_by_key(|(d, _)| *d)
+    }
+}
+
+/// Enumerate all automorphisms of the uncolored graph by closing the IR
+/// generators. Returns `None` if the order exceeds `cap`.
+pub fn enumerate_automorphisms(g: &Graph, cap: usize) -> Option<Vec<Perm>> {
+    let bc = Bicolored::new(g.clone(), &[]).expect("uncolored instance");
+    let d = ColoredDigraph::from_bicolored(&bc);
+    let result = canonicalize(&d);
+    let n = g.n();
+    let id = Perm::identity(n);
+    let gens: Vec<Perm> = result
+        .generators
+        .iter()
+        .map(|imgs| Perm::from_usizes(imgs).expect("generator is a permutation"))
+        .collect();
+    let mut elems: HashMap<Vec<u32>, ()> = HashMap::new();
+    elems.insert(id.0.clone(), ());
+    let mut order: Vec<Perm> = vec![id];
+    let mut head = 0;
+    while head < order.len() {
+        let e = order[head].clone();
+        head += 1;
+        for gperm in &gens {
+            let c = gperm.compose(&e);
+            if !elems.contains_key(&c.0) {
+                if order.len() >= cap {
+                    return None;
+                }
+                elems.insert(c.0.clone(), ());
+                order.push(c);
+            }
+        }
+    }
+    order.sort();
+    Some(order)
+}
+
+/// Search for regular subgroups of `Aut(G)`.
+pub fn regular_subgroups(g: &Graph, budget: RecognitionBudget) -> Recognition {
+    let n = g.n();
+    let autos = match enumerate_automorphisms(g, budget.max_automorphisms) {
+        Some(a) => a,
+        None => {
+            return Recognition {
+                subgroups: Vec::new(),
+                complete: false,
+                automorphism_count: None,
+            }
+        }
+    };
+    let auto_count = autos.len();
+    // A regular subgroup needs |Aut| divisible by n and at least n
+    // elements; quick exits keep trivial non-Cayley cases cheap.
+    if auto_count % n != 0 || auto_count < n {
+        return Recognition {
+            subgroups: Vec::new(),
+            complete: true,
+            automorphism_count: Some(auto_count),
+        };
+    }
+    // Bucket automorphisms by image of the base node 0.
+    let mut buckets: Vec<Vec<&Perm>> = vec![Vec::new(); n];
+    for p in &autos {
+        buckets[p.apply(0)].push(p);
+    }
+    if buckets.iter().any(|b| b.is_empty()) {
+        // Not vertex-transitive → not Cayley.
+        return Recognition {
+            subgroups: Vec::new(),
+            complete: true,
+            automorphism_count: Some(auto_count),
+        };
+    }
+
+    struct Ctx<'a> {
+        n: usize,
+        buckets: &'a [Vec<&'a Perm>],
+        found: Vec<RegularSubgroup>,
+        seen_keys: Vec<Vec<Vec<u32>>>,
+        nodes_expanded: usize,
+        budget: RecognitionBudget,
+        complete: bool,
+    }
+
+    /// Closure-propagate the assignment `T[v] = p`. Returns the updated
+    /// table or None on conflict.
+    fn propagate(
+        t: &[Option<Perm>],
+        v: usize,
+        p: &Perm,
+    ) -> Option<Vec<Option<Perm>>> {
+        let mut t: Vec<Option<Perm>> = t.to_vec();
+        t[v] = Some(p.clone());
+        let mut work = vec![v];
+        while let Some(u) = work.pop() {
+            let pu = t[u].clone().expect("just assigned");
+            // Inverse: φ_u⁻¹ maps 0 to φ_u⁻¹(0).
+            let inv = pu.inverse();
+            let wi = inv.apply(0);
+            match &t[wi] {
+                Some(q) => {
+                    if *q != inv {
+                        return None;
+                    }
+                }
+                None => {
+                    t[wi] = Some(inv);
+                    work.push(wi);
+                }
+            }
+            // Products with every assigned element, both orders.
+            let assigned: Vec<usize> =
+                (0..t.len()).filter(|&w| t[w].is_some()).collect();
+            for &a in &assigned {
+                let pa = t[a].clone().expect("assigned");
+                for c in [pa.compose(&pu), pu.compose(&pa)] {
+                    let w = c.apply(0);
+                    match &t[w] {
+                        Some(q) => {
+                            if *q != c {
+                                return None;
+                            }
+                        }
+                        None => {
+                            t[w] = Some(c);
+                            work.push(w);
+                        }
+                    }
+                }
+            }
+        }
+        Some(t)
+    }
+
+    fn recurse(ctx: &mut Ctx<'_>, t: Vec<Option<Perm>>) {
+        if ctx.found.len() >= ctx.budget.max_subgroups {
+            ctx.complete = false;
+            return;
+        }
+        ctx.nodes_expanded += 1;
+        if ctx.nodes_expanded > ctx.budget.max_backtrack_nodes {
+            ctx.complete = false;
+            return;
+        }
+        let next = (0..ctx.n).find(|&v| t[v].is_none());
+        let v = match next {
+            None => {
+                let elements: Vec<Perm> =
+                    t.into_iter().map(|o| o.expect("complete assignment")).collect();
+                let sub = RegularSubgroup { elements };
+                let key = sub.key();
+                if !ctx.seen_keys.contains(&key) {
+                    ctx.seen_keys.push(key);
+                    ctx.found.push(sub);
+                }
+                return;
+            }
+            Some(v) => v,
+        };
+        for p in ctx.buckets[v].iter() {
+            if let Some(t2) = propagate(&t, v, p) {
+                recurse(ctx, t2);
+                if ctx.nodes_expanded > ctx.budget.max_backtrack_nodes
+                    || ctx.found.len() >= ctx.budget.max_subgroups
+                {
+                    ctx.complete = false;
+                    return;
+                }
+            }
+        }
+    }
+
+    let mut ctx = Ctx {
+        n,
+        buckets: &buckets,
+        found: Vec::new(),
+        seen_keys: Vec::new(),
+        nodes_expanded: 0,
+        budget,
+        complete: true,
+    };
+    let mut t: Vec<Option<Perm>> = vec![None; n];
+    t[0] = Some(Perm::identity(n));
+    recurse(&mut ctx, t);
+
+    Recognition {
+        subgroups: ctx.found,
+        complete: ctx.complete,
+        automorphism_count: Some(auto_count),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_graph::families;
+
+    #[test]
+    fn cycle_is_cayley() {
+        let g = families::cycle(6).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.is_cayley(), Some(true));
+        assert_eq!(rec.automorphism_count, Some(12)); // D_6
+        // C6 has two regular subgroups: Z6 and S3? No — regular subgroups
+        // of D6 on 6 points: Z6 (rotations) and the dihedral D3 (order 6)
+        // acting regularly. Both appear.
+        assert!(rec.subgroups.len() >= 1);
+        for r in &rec.subgroups {
+            // Every non-identity element is fixed-point-free.
+            for v in 1..6 {
+                assert!(r.elements[v].is_fixed_point_free());
+            }
+            // The table is a valid group.
+            let _ = r.to_table_group();
+        }
+    }
+
+    #[test]
+    fn c4_has_rotation_and_klein_subgroups() {
+        let g = families::cycle(4).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.is_cayley(), Some(true));
+        assert_eq!(rec.automorphism_count, Some(8)); // D_4
+        assert_eq!(rec.subgroups.len(), 2, "Z_4 and the Klein four-group");
+        let orders: Vec<Vec<usize>> = rec
+            .subgroups
+            .iter()
+            .map(|r| {
+                let mut o: Vec<usize> =
+                    (0..4).map(|v| r.elements[v].order()).collect();
+                o.sort_unstable();
+                o
+            })
+            .collect();
+        assert!(orders.contains(&vec![1, 2, 4, 4]), "Z_4 present");
+        assert!(orders.contains(&vec![1, 2, 2, 2]), "Klein group present");
+    }
+
+    #[test]
+    fn c4_adjacent_agents_corner_detected() {
+        // The documented Theorem 4.1 corner: Z_4 gives translation-gcd 1
+        // but the Klein group gives 2 → impossibility certified.
+        let g = families::cycle(4).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        let (d, _) = rec.max_translation_gcd(&[0, 1]).unwrap();
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn petersen_is_not_cayley() {
+        let g = families::petersen().unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.automorphism_count, Some(120));
+        assert_eq!(rec.is_cayley(), Some(false), "Petersen is the classic non-Cayley VT graph");
+    }
+
+    #[test]
+    fn path_is_not_cayley() {
+        let g = families::path(4).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.is_cayley(), Some(false));
+    }
+
+    #[test]
+    fn hypercube_is_cayley() {
+        let g = families::hypercube(3).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.is_cayley(), Some(true));
+        // The canonical subgroup reproduces a group of order 8 in which
+        // translations act freely.
+        let r = rec.canonical().unwrap();
+        assert_eq!(r.order(), 8);
+        let tg = r.to_table_group();
+        use crate::group::FiniteGroup;
+        assert_eq!(tg.order(), 8);
+    }
+
+    #[test]
+    fn star_graph_family_is_cayley() {
+        let g = families::star_graph(3).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        assert_eq!(rec.is_cayley(), Some(true));
+    }
+
+    #[test]
+    fn recognized_group_matches_construction() {
+        // Recognize the Cayley structure of a constructed Cayley graph
+        // and compare translation gcds for a placement.
+        let cg = crate::cayley::CayleyGraph::cycle(6).unwrap();
+        let rec = regular_subgroups(cg.graph(), RecognitionBudget::default());
+        let (d, _) = rec.max_translation_gcd(&[0, 3]).unwrap();
+        assert_eq!(d, cg.translation_gcd(&[0, 3]));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_flagged() {
+        let g = families::hypercube(3).unwrap();
+        let rec = regular_subgroups(
+            &g,
+            RecognitionBudget {
+                max_automorphisms: 2,
+                max_subgroups: 64,
+                max_backtrack_nodes: 10,
+            },
+        );
+        assert!(!rec.complete);
+        assert_eq!(rec.is_cayley(), None);
+    }
+}

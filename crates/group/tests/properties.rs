@@ -1,0 +1,103 @@
+//! Property-based tests for the group substrate.
+
+use proptest::prelude::*;
+use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
+use qelect_group::{CayleyGraph, CyclicGroup, DirectProductGroup, FiniteGroup};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lagrange_for_cyclic_groups(n in 2usize..40, a in 0usize..40) {
+        let g = CyclicGroup(n);
+        let a = a % n;
+        prop_assert_eq!(g.order() % g.element_order(a), 0, "Lagrange");
+    }
+
+    #[test]
+    fn inverses_cancel_in_products(m1 in 2usize..6, m2 in 2usize..6, a in any::<usize>()) {
+        let g = DirectProductGroup::new(vec![m1, m2]).unwrap();
+        let a = a % g.order();
+        prop_assert_eq!(g.mul(a, g.inv(a)), g.identity());
+        prop_assert_eq!(g.mul(g.inv(a), a), g.identity());
+    }
+
+    #[test]
+    fn cayley_translations_form_a_regular_action(n in 3usize..10, seed in any::<u64>()) {
+        let cg = CayleyGraph::cycle(n).unwrap();
+        // Any non-identity translation is fixed-point-free; composition
+        // of translations is a translation (spot-check via seeds).
+        let a = (seed % n as u64) as usize;
+        let b = ((seed >> 8) % n as u64) as usize;
+        let ta = cg.translation(a);
+        let tb = cg.translation(b);
+        let composed = ta.compose(&tb);
+        let direct = cg.translation((a + b) % n);
+        prop_assert_eq!(composed, direct, "phi_a . phi_b = phi_(a+b)");
+        if a != 0 {
+            prop_assert!(cg.translation(a).is_fixed_point_free());
+        }
+    }
+
+    #[test]
+    fn translation_classes_partition_with_equal_sizes(
+        n in 3usize..10,
+        mask in any::<u16>(),
+    ) {
+        let cg = CayleyGraph::cycle(n).unwrap();
+        let homes: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        let classes = cg.translation_classes(&homes);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n, "partition covers all nodes");
+        let d = cg.translation_gcd(&homes);
+        prop_assert!(classes.iter().all(|c| c.len() == d), "free action ⇒ equal sizes");
+        // No duplicates across classes.
+        let mut all: Vec<usize> = classes.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn circulants_are_recognized_as_cayley(n in 4usize..9, s in 1usize..4) {
+        let s = (s % (n / 2)).max(1);
+        let offsets = if qelect_graph::surrounding::gcd(s, n) == 1 {
+            vec![s]
+        } else {
+            vec![1, s]
+        };
+        let g = qelect_graph::families::circulant(n, &offsets).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        prop_assert_eq!(rec.is_cayley(), Some(true), "circulant C_{}({:?})", n, offsets);
+    }
+
+    #[test]
+    fn random_trees_are_not_cayley(n in 3usize..9, seed in any::<u64>()) {
+        let g = qelect_graph::families::random_connected(n, 0.0, seed).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        prop_assert_eq!(rec.is_cayley(), Some(false), "trees (n ≥ 3) are never vertex-transitive");
+    }
+
+    #[test]
+    fn recognized_subgroup_tables_satisfy_group_axioms(n in 3usize..8) {
+        let g = qelect_graph::families::cycle(n).unwrap();
+        let rec = regular_subgroups(&g, RecognitionBudget::default());
+        for sub in &rec.subgroups {
+            // TableGroup::new re-validates identity/inverses/associativity.
+            let tg = sub.to_table_group();
+            prop_assert_eq!(tg.order(), n);
+        }
+    }
+
+    #[test]
+    fn marking_schedule_invariants_on_cycles(n in 4usize..12, mask in any::<u16>()) {
+        let cg = CayleyGraph::cycle(n).unwrap();
+        let homes: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        let trace = qelect_group::marking::marking_schedule(&cg, &homes);
+        let d = cg.translation_gcd(&homes);
+        prop_assert_eq!(trace.d, d);
+        prop_assert!(trace.final_classes.iter().all(|c| c.len() == d));
+        let total: usize = trace.final_classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, n);
+    }
+}

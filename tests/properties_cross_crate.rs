@@ -1,0 +1,134 @@
+//! Property-based cross-crate invariants (proptest).
+//!
+//! Random connected graphs and placements; the paper's structural
+//! invariants must hold on all of them:
+//!
+//! * Lemma 2.1 — label-equivalence classes have one common size;
+//! * Equation 1 — `~lab` refines `~view`;
+//! * surroundings decide Definition 2.1 equivalence (classes = orbits);
+//! * the ELECT schedule's final `d` equals `gcd(|C_i|)`;
+//! * MAP-DRAWING reconstructs the instance up to isomorphism, under any
+//!   seed/scrambling;
+//! * ELECT's verdict equals the gcd oracle on random instances.
+
+use proptest::prelude::*;
+use qelect::prelude::*;
+use qelect::schedule::Schedule;
+use qelect::solvability::elect_succeeds;
+use qelect_graph::canon::are_isomorphic;
+use qelect_graph::surrounding::{gcd, ordered_classes};
+use qelect_graph::{automorphism, families, symmetricity, Bicolored, ColoredDigraph};
+
+/// A random connected graph + placement strategy.
+fn instance_strategy() -> impl Strategy<Value = Bicolored> {
+    (4usize..10, 0.05f64..0.5, any::<u64>(), 1usize..4).prop_map(|(n, p, seed, r)| {
+        let g = families::random_connected(n, p, seed).unwrap();
+        let r = r.min(n);
+        // Spread home-bases deterministically from the seed.
+        let mut homes: Vec<usize> = Vec::new();
+        let mut x = seed;
+        while homes.len() < r {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = (x >> 33) as usize % n;
+            if !homes.contains(&v) {
+                homes.push(v);
+            }
+        }
+        Bicolored::new(g, &homes).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lemma_2_1_equal_lab_class_sizes(bc in instance_strategy()) {
+        let size = automorphism::lab_class_common_size(&bc);
+        prop_assert!(size.is_ok(), "Lemma 2.1 violated: {size:?}");
+    }
+
+    #[test]
+    fn equation_1_lab_refines_view(bc in instance_strategy()) {
+        prop_assert!(symmetricity::equation_1_holds(&bc));
+    }
+
+    #[test]
+    fn lab_refines_node_equivalence(bc in instance_strategy()) {
+        prop_assert!(automorphism::lab_refines_node_equivalence(&bc));
+    }
+
+    #[test]
+    fn surroundings_agree_with_orbits(bc in instance_strategy()) {
+        let oc = ordered_classes(&bc);
+        let orbits = automorphism::node_equivalence(&bc);
+        prop_assert_eq!(oc.k(), orbits.k);
+        for class in &oc.classes {
+            let o = orbits.class[class.nodes[0]];
+            for &v in &class.nodes {
+                prop_assert_eq!(orbits.class[v], o);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_final_d_is_the_gcd(bc in instance_strategy()) {
+        let oc = ordered_classes(&bc);
+        let sizes: Vec<usize> = oc.classes.iter().map(|c| c.len()).collect();
+        let schedule = Schedule::from_class_sizes(&sizes, oc.ell);
+        let expected = sizes.iter().fold(0usize, |a, &b| gcd(a, b));
+        prop_assert_eq!(schedule.final_d, expected);
+    }
+
+    #[test]
+    fn classes_are_labeling_invariant(bc in instance_strategy(), seed in any::<u64>()) {
+        let scrambled = qelect_graph::labeling::scramble(bc.graph(), seed).unwrap();
+        let sc = Bicolored::new(scrambled, bc.homebases()).unwrap();
+        let a: Vec<usize> = ordered_classes(&bc).classes.iter().map(|c| c.len()).collect();
+        let b: Vec<usize> = ordered_classes(&sc).classes.iter().map(|c| c.len()).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    // Simulation-heavy properties get fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn map_drawing_reconstructs_instance(bc in instance_strategy(), seed in any::<u64>()) {
+        use qelect_agentsim::gated::{run_gated, GatedAgent};
+        use std::sync::mpsc;
+        let (tx, rx) = mpsc::channel();
+        let agents: Vec<GatedAgent> = (0..bc.r())
+            .map(|_| -> GatedAgent {
+                let tx = tx.clone();
+                Box::new(move |ctx| {
+                    let map = qelect::mapdraw::map_drawing(ctx)?;
+                    tx.send(map).ok();
+                    Ok(qelect_agentsim::AgentOutcome::Defeated)
+                })
+            })
+            .collect();
+        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let report = run_gated(&bc, cfg, agents);
+        prop_assert!(report.interrupted.is_none());
+        drop(tx);
+        for map in rx {
+            let drawn = map.to_bicolored();
+            let a = ColoredDigraph::from_bicolored(&drawn);
+            let b = ColoredDigraph::from_bicolored(&bc);
+            prop_assert!(are_isomorphic(&a, &b));
+        }
+    }
+
+    #[test]
+    fn elect_matches_oracle_on_random_instances(bc in instance_strategy(), seed in any::<u64>()) {
+        let report = run_elect(&bc, RunConfig { seed, ..RunConfig::default() });
+        let expected = elect_succeeds(&bc);
+        prop_assert!(report.interrupted.is_none(), "interrupted: {:?}", report.interrupted);
+        if expected {
+            prop_assert!(report.clean_election(), "{:?}", report.outcomes);
+        } else {
+            prop_assert!(report.unanimous_unsolvable(), "{:?}", report.outcomes);
+        }
+    }
+}
