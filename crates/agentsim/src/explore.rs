@@ -1,0 +1,522 @@
+//! Systematic schedule exploration — the adversary, exhaustively.
+//!
+//! The gated engine makes a run a pure function of the grant sequence,
+//! so the space of behaviors on an instance is exactly the tree of
+//! scheduler choices. This module walks that tree:
+//!
+//! * [`GuidedScheduler`] replays a *branch prefix* and logs every
+//!   decision point (which agents were ready, which branch was taken,
+//!   how many preemptions had been spent);
+//! * [`explore_schedules`] performs a depth-first search over branch
+//!   prefixes under an **iterative preemption bound** (Chess-style
+//!   context bounding: most concurrency bugs manifest with very few
+//!   preemptive switches, so bounding them tames the exponential tree
+//!   while keeping the bug-finding power), returning the first
+//!   counterexample trace or a coverage report;
+//! * when the bounded tree is too large for the schedule budget, the
+//!   search falls back to a randomized **swarm** (many independent
+//!   seeded random schedulers), which keeps probing beyond the bound;
+//! * [`shrink_schedule`] greedily minimizes a failing schedule
+//!   (chunked deletion, then agent-run coalescing) so committed
+//!   counterexamples stay readable.
+//!
+//! Branch encoding: at each decision the candidates are canonicalized
+//! as *continue the last agent first* (`[last] ++ others ascending`),
+//! so branch index 0 is always the preemption-free choice and any
+//! branch > 0 taken while the last agent was still ready costs one
+//! preemption. The DFS therefore enumerates exactly the schedules with
+//! at most `preemption_bound` preemptions.
+
+use crate::gated::RunReport;
+use crate::sched::{RandomScheduler, Scheduler};
+use crate::trace::Trace;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// One logged decision point of a [`GuidedScheduler`] run.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Number of candidate branches at this point.
+    pub n_candidates: usize,
+    /// The branch taken (0 = continue the last agent / lowest ready).
+    pub branch: usize,
+    /// Whether the previously-run agent was still ready (so branches
+    /// > 0 cost a preemption).
+    pub last_ready: bool,
+    /// Preemptions spent strictly before this decision.
+    pub preemptions_before: usize,
+}
+
+/// A scheduler steered by a branch prefix; decisions past the prefix
+/// default to branch 0 (run the last agent while it stays ready).
+#[derive(Debug)]
+pub struct GuidedScheduler {
+    prefix: Vec<usize>,
+    /// The decision log of the last run (one entry per grant).
+    pub log: Vec<Decision>,
+    last: Option<usize>,
+    preemptions: usize,
+}
+
+impl GuidedScheduler {
+    /// A scheduler following `prefix`, then branch 0 forever.
+    pub fn new(prefix: Vec<usize>) -> GuidedScheduler {
+        GuidedScheduler { prefix, log: Vec::new(), last: None, preemptions: 0 }
+    }
+
+    /// Candidates in canonical order: the last-run agent first (if still
+    /// ready), then the remaining ready agents ascending.
+    fn candidates(&self, ready: &[usize]) -> (Vec<usize>, bool) {
+        let last_ready = self.last.is_some_and(|l| ready.contains(&l));
+        let mut cands = Vec::with_capacity(ready.len());
+        if last_ready {
+            cands.push(self.last.unwrap());
+        }
+        cands.extend(ready.iter().copied().filter(|&a| Some(a) != self.last));
+        (cands, last_ready)
+    }
+}
+
+impl Scheduler for GuidedScheduler {
+    fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
+        let (cands, last_ready) = self.candidates(ready);
+        let i = self.log.len();
+        let branch = if i < self.prefix.len() { self.prefix[i] } else { 0 };
+        assert!(
+            branch < cands.len(),
+            "guided prefix branch {branch} out of range at decision {i} \
+             ({} candidates) — the prefix does not match this execution",
+            cands.len()
+        );
+        self.log.push(Decision {
+            n_candidates: cands.len(),
+            branch,
+            last_ready,
+            preemptions_before: self.preemptions,
+        });
+        if last_ready && branch > 0 {
+            self.preemptions += 1;
+        }
+        let pick = cands[branch];
+        self.last = Some(pick);
+        pick
+    }
+    fn name(&self) -> &'static str {
+        "guided-dfs"
+    }
+}
+
+/// Next DFS prefix after a run logged `log`, honoring the preemption
+/// bound; `None` when the bounded tree is exhausted.
+fn next_prefix(log: &[Decision], bound: usize) -> Option<Vec<usize>> {
+    for i in (0..log.len()).rev() {
+        let d = &log[i];
+        let next_branch = d.branch + 1;
+        if next_branch >= d.n_candidates {
+            continue;
+        }
+        // All branches > 0 cost one preemption when the last agent was
+        // ready; if the first untried one is over budget they all are.
+        let cost = usize::from(d.last_ready && next_branch > 0);
+        if d.preemptions_before + cost > bound {
+            continue;
+        }
+        let mut prefix: Vec<usize> = log[..i].iter().map(|d| d.branch).collect();
+        prefix.push(next_branch);
+        return Some(prefix);
+    }
+    None
+}
+
+/// Exploration budget and strategy knobs.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Maximum preemptive context switches per schedule (the Chess
+    /// bound). Bound 0 explores only cooperative schedules.
+    pub preemption_bound: usize,
+    /// DFS schedule budget: how many guided schedules to run before
+    /// giving up on exhausting the bounded tree.
+    pub max_schedules: usize,
+    /// Randomized schedules to run *in addition* when the DFS budget
+    /// runs out without completing the tree. 0 disables the fallback.
+    pub swarm_runs: usize,
+    /// Base seed for swarm schedulers.
+    pub swarm_seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            preemption_bound: 2,
+            max_schedules: 1000,
+            swarm_runs: 64,
+            swarm_seed: 0xADE5_ADE5,
+        }
+    }
+}
+
+/// A schedule that violated the property, with the violation message
+/// and the full report of the violating run.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// The violating grant sequence (replayable).
+    pub schedule: Vec<usize>,
+    /// The property's error message.
+    pub violation: String,
+    /// The violating run's report.
+    pub report: RunReport,
+}
+
+impl CounterExample {
+    /// Package the counterexample as a labeled [`Trace`] (instance
+    /// metadata comes from the caller, which knows the run config).
+    pub fn to_trace(&self, seed: u64, nodes: usize, label: &str) -> Trace {
+        Trace {
+            label: format!("{label}: {}", self.violation),
+            seed,
+            policy: "guided-dfs".into(),
+            agents: self.report.outcomes.len(),
+            nodes,
+            schedule: self.schedule.clone(),
+            events: self.report.events.clone(),
+        }
+    }
+}
+
+/// Coverage summary of an exploration.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// Schedules actually executed (DFS + swarm).
+    pub schedules_explored: usize,
+    /// Distinct terminal states observed (outcome fingerprints).
+    pub states_hashed: usize,
+    /// Longest run seen, in scheduler ticks.
+    pub max_ticks: u64,
+    /// Whether the DFS exhausted the whole bounded tree (a *proof* that
+    /// no schedule within the preemption bound violates the property).
+    pub complete: bool,
+    /// Whether the randomized swarm fallback ran.
+    pub swarm_used: bool,
+    /// The first property violation found, if any.
+    pub counterexample: Option<CounterExample>,
+}
+
+impl ExploreReport {
+    /// `true` iff no violation was found (which is a verification only
+    /// when [`ExploreReport::complete`] also holds).
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Fingerprint of a run's terminal state, for coverage accounting.
+fn outcome_fingerprint(report: &RunReport) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", report.outcomes).hash(&mut h);
+    report.leader.hash(&mut h);
+    report.metrics.per_agent.hash(&mut h);
+    h.finish()
+}
+
+/// Systematically explore scheduler choices, depth-first with iterative
+/// preemption bounding, falling back to a randomized swarm when the
+/// budget runs out before the bounded tree does.
+///
+/// * `run` executes the protocol under the given scheduler and must be
+///   deterministic given the grant sequence (i.e. drive `run_gated_with`
+///   with a fixed instance, seed, and fresh agent programs each call),
+///   with `record_trace` enabled so counterexamples carry schedules.
+/// * `property` returns `Err(description)` on a violating report.
+///
+/// Stops at the first counterexample.
+pub fn explore_schedules<F, P>(cfg: &ExploreConfig, mut run: F, property: P) -> ExploreReport
+where
+    F: FnMut(&mut dyn Scheduler) -> RunReport,
+    P: Fn(&RunReport) -> Result<(), String>,
+{
+    let mut report = ExploreReport::default();
+    let mut states: HashSet<u64> = HashSet::new();
+    let mut prefix: Vec<usize> = Vec::new();
+
+    loop {
+        if report.schedules_explored >= cfg.max_schedules {
+            break;
+        }
+        let mut scheduler = GuidedScheduler::new(prefix.clone());
+        let rep = run(&mut scheduler);
+        report.schedules_explored += 1;
+        report.max_ticks = report.max_ticks.max(rep.metrics.steps);
+        states.insert(outcome_fingerprint(&rep));
+        if let Err(violation) = property(&rep) {
+            report.states_hashed = states.len();
+            report.counterexample =
+                Some(CounterExample { schedule: rep.trace.clone(), violation, report: rep });
+            return report;
+        }
+        match next_prefix(&scheduler.log, cfg.preemption_bound) {
+            Some(p) => prefix = p,
+            None => {
+                report.complete = true;
+                break;
+            }
+        }
+    }
+
+    if !report.complete && cfg.swarm_runs > 0 {
+        report.swarm_used = true;
+        for k in 0..cfg.swarm_runs {
+            let seed = cfg
+                .swarm_seed
+                .wrapping_add((k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut scheduler = RandomScheduler::new(seed);
+            let rep = run(&mut scheduler);
+            report.schedules_explored += 1;
+            report.max_ticks = report.max_ticks.max(rep.metrics.steps);
+            states.insert(outcome_fingerprint(&rep));
+            if let Err(violation) = property(&rep) {
+                report.states_hashed = states.len();
+                report.counterexample =
+                    Some(CounterExample { schedule: rep.trace.clone(), violation, report: rep });
+                return report;
+            }
+        }
+    }
+
+    report.states_hashed = states.len();
+    report
+}
+
+/// Greedily shrink a failing schedule: `still_fails` must re-run the
+/// protocol under a **lenient** replay of the candidate schedule and
+/// report whether the original failure reproduces.
+///
+/// Two passes, both standard trace-minimization moves:
+///
+/// 1. **Chunked deletion** (ddmin-lite): try dropping halves, quarters,
+///    … single ticks; keep any deletion that still fails. Lenient
+///    replay absorbs the divergence a deletion causes downstream.
+/// 2. **Agent coalescing**: try extending each agent's run over the
+///    following tick (`[…a, b…] → […a, a…]`), which lowers the
+///    context-switch count and makes the schedule human-readable.
+pub fn shrink_schedule<F>(schedule: &[usize], mut still_fails: F) -> Vec<usize>
+where
+    F: FnMut(&[usize]) -> bool,
+{
+    let mut current = schedule.to_vec();
+
+    let mut chunk = (current.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && still_fails(&candidate) {
+                current = candidate; // same start: the next chunk slid in
+            } else {
+                start += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+
+    for i in 1..current.len() {
+        if current[i] != current[i - 1] {
+            let mut candidate = current.clone();
+            candidate[i] = candidate[i - 1];
+            if still_fails(&candidate) {
+                current = candidate;
+            }
+        }
+    }
+    current
+}
+
+/// [`shrink_schedule`] lifted to [`Trace`]: returns the input trace with
+/// a minimized schedule (events are dropped — they describe the original
+/// execution, not the shrunk one).
+pub fn shrink_trace<F>(trace: &Trace, still_fails: F) -> Trace
+where
+    F: FnMut(&[usize]) -> bool,
+{
+    let schedule = shrink_schedule(&trace.schedule, still_fails);
+    Trace {
+        label: format!("{} (shrunk {} → {} ticks)", trace.label, trace.schedule.len(), schedule.len()),
+        schedule,
+        events: Vec::new(),
+        ..trace.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::{AgentOutcome, MobileCtx};
+    use crate::gated::{run_gated_with, GatedAgent, RunConfig};
+    use crate::sign::{Sign, SignKind};
+    use qelect_graph::{families, Bicolored};
+
+    /// Two racers walk to C3's shared free node (2) and race to claim
+    /// it; whoever posts first wins. Every schedule yields exactly one
+    /// winner — so the "exactly one leader" property holds universally.
+    fn race_runner(
+        bc: &Bicolored,
+    ) -> impl FnMut(&mut dyn Scheduler) -> RunReport + '_ {
+        move |scheduler| {
+            let mk = || -> GatedAgent {
+                Box::new(|ctx| {
+                    for _ in 0..3 {
+                        let board = ctx.read_board()?;
+                        if !board.iter().any(|s| s.kind == SignKind::HomeBase) {
+                            break;
+                        }
+                        let entry = ctx.entry();
+                        let fwd = ctx
+                            .ports()
+                            .into_iter()
+                            .find(|&p| Some(p) != entry)
+                            .expect("degree 2");
+                        ctx.move_via(fwd)?;
+                    }
+                    let me = ctx.color();
+                    let won = ctx.with_board(move |wb| {
+                        if wb.find_kind(SignKind::Custom(1)).is_none() {
+                            wb.post(Sign::tag(me, SignKind::Custom(1)));
+                            true
+                        } else {
+                            false
+                        }
+                    })?;
+                    Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                })
+            };
+            let cfg = RunConfig { seed: 7, record_trace: true, ..RunConfig::default() };
+            run_gated_with(bc, cfg, vec![mk(), mk()], scheduler)
+        }
+    }
+
+    fn c3_two_agents() -> Bicolored {
+        Bicolored::new(families::cycle(3).unwrap(), &[0, 1]).unwrap()
+    }
+
+    #[test]
+    fn guided_branch0_is_preemption_free() {
+        let bc = c3_two_agents();
+        let mut run = race_runner(&bc);
+        let mut sched = GuidedScheduler::new(Vec::new());
+        let rep = run(&mut sched);
+        assert_eq!(rep.metrics.preemptions, 0, "default path never preempts");
+        assert!(rep.clean_election());
+        assert!(!sched.log.is_empty());
+    }
+
+    #[test]
+    fn exploration_verifies_race_arbitration() {
+        let bc = c3_two_agents();
+        let cfg = ExploreConfig {
+            preemption_bound: 2,
+            max_schedules: 5000,
+            swarm_runs: 0,
+            ..ExploreConfig::default()
+        };
+        let report = explore_schedules(&cfg, race_runner(&bc), |rep| {
+            if rep.clean_election() {
+                Ok(())
+            } else {
+                Err(format!("not a clean election: {:?}", rep.outcomes))
+            }
+        });
+        assert!(report.passed(), "{:?}", report.counterexample.map(|c| c.violation));
+        assert!(report.complete, "bounded tree should be exhaustible");
+        assert!(report.schedules_explored > 1, "tree has real branching");
+        assert!(report.states_hashed >= 2, "both winners are reachable");
+    }
+
+    #[test]
+    fn exploration_finds_injected_violation() {
+        // Property claims agent 0 always wins — false under schedules
+        // that let agent 1 get to the free node first.
+        let bc = c3_two_agents();
+        let cfg = ExploreConfig {
+            preemption_bound: 2,
+            max_schedules: 5000,
+            swarm_runs: 0,
+            ..ExploreConfig::default()
+        };
+        let report = explore_schedules(&cfg, race_runner(&bc), |rep| {
+            if rep.outcomes[0] == AgentOutcome::Leader {
+                Ok(())
+            } else {
+                Err("agent 1 won".into())
+            }
+        });
+        let ce = report.counterexample.expect("must find the losing schedule");
+        assert!(!ce.schedule.is_empty());
+
+        // The counterexample replays to the same violation…
+        let mut run = race_runner(&bc);
+        let mut replayer = crate::sched::ReplayScheduler::strict(ce.schedule.clone());
+        let rep = run(&mut replayer);
+        assert_ne!(rep.outcomes[0], AgentOutcome::Leader);
+
+        // …and the shrunk schedule still reproduces it.
+        let shrunk = shrink_schedule(&ce.schedule, |cand| {
+            let mut replayer = crate::sched::ReplayScheduler::new(cand.to_vec());
+            run(&mut replayer).outcomes[0] != AgentOutcome::Leader
+        });
+        assert!(shrunk.len() <= ce.schedule.len());
+        let mut replayer = crate::sched::ReplayScheduler::new(shrunk.clone());
+        assert_ne!(run(&mut replayer).outcomes[0], AgentOutcome::Leader, "{shrunk:?}");
+    }
+
+    #[test]
+    fn preemption_bound_zero_is_single_schedule_per_blocking_pattern() {
+        let bc = c3_two_agents();
+        let cfg = ExploreConfig {
+            preemption_bound: 0,
+            max_schedules: 1000,
+            swarm_runs: 0,
+            ..ExploreConfig::default()
+        };
+        let report = explore_schedules(&cfg, race_runner(&bc), |_| Ok(()));
+        assert!(report.complete);
+        // With no preemptions allowed, branching only happens where the
+        // running agent blocks (here: when it finishes), so the tree is
+        // tiny but not necessarily a single path.
+        assert!(report.schedules_explored <= 8, "{}", report.schedules_explored);
+    }
+
+    #[test]
+    fn swarm_fallback_kicks_in_when_budget_truncates_dfs() {
+        let bc = c3_two_agents();
+        let cfg = ExploreConfig {
+            preemption_bound: 2,
+            max_schedules: 3, // far below the tree size
+            swarm_runs: 5,
+            ..ExploreConfig::default()
+        };
+        let report = explore_schedules(&cfg, race_runner(&bc), |_| Ok(()));
+        assert!(!report.complete);
+        assert!(report.swarm_used);
+        assert_eq!(report.schedules_explored, 3 + 5, "DFS budget, then the full swarm");
+        let cfg = ExploreConfig { swarm_runs: 0, ..cfg };
+        let report = explore_schedules(&cfg, race_runner(&bc), |_| Ok(()));
+        assert!(!report.swarm_used);
+        assert_eq!(report.schedules_explored, 3, "the DFS budget is a hard cap");
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_synthetic_predicate() {
+        // Failure = schedule contains at least three 1s. Minimal failing
+        // schedules under deletion+coalescing have exactly three ticks.
+        let schedule = vec![0, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0];
+        let shrunk = shrink_schedule(&schedule, |c| {
+            c.iter().filter(|&&a| a == 1).count() >= 3
+        });
+        assert_eq!(shrunk, vec![1, 1, 1]);
+    }
+}

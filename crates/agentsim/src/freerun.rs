@@ -301,6 +301,7 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         per_agent: shared.metrics.iter().map(|m| m.snapshot()).collect(),
         checkpoints: shared.checkpoints.lock().clone(),
         steps: shared.ops.load(Ordering::Relaxed),
+        preemptions: 0,
     };
     RunReport {
         outcomes,
@@ -310,6 +311,7 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         interrupted,
         policy: "free-running",
         trace: Vec::new(),
+        events: Vec::new(),
     }
 }
 

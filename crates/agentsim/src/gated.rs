@@ -17,8 +17,9 @@
 use crate::color::{Color, ColorRegistry};
 use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
 use crate::metrics::{AgentMetrics, Checkpoint, Metrics};
-use crate::sched::Policy;
+use crate::sched::{Policy, Scheduler};
 use crate::sign::{Sign, SignKind};
+use crate::trace::{sign_kind_code, PrimOp, Trace, TraceEvent};
 use crate::whiteboard::Whiteboard;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -42,7 +43,8 @@ pub struct RunConfig {
     /// debugging).
     pub scramble_ports: bool,
     /// Record the grant sequence (which agent ran at each scheduler
-    /// step) into [`RunReport::trace`] — the replayable witness of a
+    /// step) into [`RunReport::trace`], plus the per-primitive event log
+    /// into [`RunReport::events`] — the replayable witness of a
     /// deterministic execution.
     pub record_trace: bool,
 }
@@ -79,6 +81,9 @@ pub struct RunReport {
     /// same `(instance, protocol, policy, seed)` produce identical
     /// traces — the engine's determinism contract.
     pub trace: Vec<usize>,
+    /// Per-primitive event log (what each grant was spent on), recorded
+    /// only when [`RunConfig::record_trace`] is set.
+    pub events: Vec<TraceEvent>,
 }
 
 impl RunReport {
@@ -101,6 +106,21 @@ impl RunReport {
     pub fn unanimous_unsolvable(&self) -> bool {
         self.outcomes.iter().all(|o| *o == AgentOutcome::Unsolvable)
     }
+
+    /// Package the recorded schedule and events as a [`Trace`] (the run
+    /// must have been made with [`RunConfig::record_trace`] set for the
+    /// trace to be non-trivial).
+    pub fn to_trace(&self, bc: &Bicolored, seed: u64, label: &str) -> Trace {
+        Trace {
+            label: label.to_string(),
+            seed,
+            policy: self.policy.to_string(),
+            agents: self.outcomes.len(),
+            nodes: bc.n(),
+            schedule: self.trace.clone(),
+            events: self.events.clone(),
+        }
+    }
 }
 
 struct Shared {
@@ -110,6 +130,11 @@ struct Shared {
     checkpoints: Mutex<Vec<Checkpoint>>,
     port_seed: u64,
     scramble_ports: bool,
+    /// Event log, appended by whichever agent holds the grant. Only one
+    /// agent runs at a time, so the order is the deterministic grant
+    /// order; the mutex only covers the cross-thread handoff.
+    events: Mutex<Vec<TraceEvent>>,
+    record_events: bool,
 }
 
 impl Shared {
@@ -134,7 +159,8 @@ enum Msg {
 }
 
 enum Grant {
-    Go,
+    /// Proceed; carries the grant's tick number for event records.
+    Go(u64),
     Abort(Interrupt),
 }
 
@@ -150,12 +176,13 @@ pub struct GatedCtx {
 }
 
 impl GatedCtx {
-    fn gate_op(&mut self) -> Result<(), Interrupt> {
+    /// Park at the gate; on grant, returns the tick number.
+    fn gate_op(&mut self) -> Result<u64, Interrupt> {
         self.req_tx
             .send(Msg::Op { agent: self.id })
             .map_err(|_| Interrupt::Cancelled)?;
         match self.grant_rx.recv() {
-            Ok(Grant::Go) => Ok(()),
+            Ok(Grant::Go(tick)) => Ok(tick),
             Ok(Grant::Abort(i)) => Err(i),
             Err(_) => Err(Interrupt::Cancelled),
         }
@@ -165,6 +192,12 @@ impl GatedCtx {
         self.shared.metrics[self.id]
             .accesses
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record(&self, tick: u64, op: PrimOp) {
+        if self.shared.record_events {
+            self.shared.events.lock().push(TraceEvent { tick, agent: self.id, op });
+        }
     }
 }
 
@@ -182,9 +215,10 @@ impl MobileCtx for GatedCtx {
     }
 
     fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt> {
-        self.gate_op()?;
+        let tick = self.gate_op()?;
         self.count_access();
         let board = self.shared.boards[self.node].lock();
+        self.record(tick, PrimOp::Read { node: self.node });
         Ok(board.signs().to_vec())
     }
 
@@ -192,14 +226,29 @@ impl MobileCtx for GatedCtx {
         &mut self,
         f: impl FnOnce(&mut Whiteboard) -> R,
     ) -> Result<R, Interrupt> {
-        self.gate_op()?;
+        let tick = self.gate_op()?;
         self.count_access();
         let mut board = self.shared.boards[self.node].lock();
-        Ok(f(&mut board))
+        let before = board.signs().len();
+        let result = f(&mut board);
+        if self.shared.record_events {
+            // Signs appended during the access (erasures shorten the
+            // board instead; they leave `posted` empty).
+            let posted: Vec<u32> = board
+                .signs()
+                .get(before..)
+                .unwrap_or(&[])
+                .iter()
+                .map(|s| sign_kind_code(s.kind))
+                .collect();
+            self.record(tick, PrimOp::Write { node: self.node, posted });
+        }
+        Ok(result)
     }
 
     fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt> {
-        self.gate_op()?;
+        let tick = self.gate_op()?;
+        let from = self.node;
         let map = self.shared.port_map(self.id, self.node);
         let sym = *map
             .get(port.0 as usize)
@@ -221,6 +270,7 @@ impl MobileCtx for GatedCtx {
         self.shared.metrics[self.id]
             .moves
             .fetch_add(1, Ordering::Relaxed);
+        self.record(tick, PrimOp::Move { from, to: dest });
         Ok(())
     }
 
@@ -234,10 +284,12 @@ impl MobileCtx for GatedCtx {
                 .send(Msg::Wait { agent: self.id, node: self.node, seen })
                 .map_err(|_| Interrupt::Cancelled)?;
             match self.grant_rx.recv() {
-                Ok(Grant::Go) => {
+                Ok(Grant::Go(tick)) => {
                     self.count_access();
                     let board = self.shared.boards[self.node].lock();
-                    if pred(&board) {
+                    let woke = pred(&board);
+                    self.record(tick, PrimOp::Wait { node: self.node, woke });
+                    if woke {
                         self.shared.metrics[self.id]
                             .waits
                             .fetch_add(1, Ordering::Relaxed);
@@ -318,6 +370,22 @@ enum St {
 /// color). Home-bases are pre-marked with a [`SignKind::HomeBase`] sign
 /// of the resident's color, as the model prescribes.
 pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+    let mut scheduler = cfg.policy.build(cfg.seed);
+    run_gated_with(bc, cfg, agents, scheduler.as_mut())
+}
+
+/// [`run_gated`] with a caller-supplied scheduler instead of one built
+/// from [`RunConfig::policy`] (which this entry point ignores). This is
+/// how replay ([`crate::sched::ReplayScheduler`]) and systematic
+/// exploration ([`crate::explore`]) drive the engine: the caller keeps
+/// the scheduler and can inspect its state (divergence, decision log)
+/// after the run.
+pub fn run_gated_with(
+    bc: &Bicolored,
+    cfg: RunConfig,
+    agents: Vec<GatedAgent>,
+    scheduler: &mut dyn Scheduler,
+) -> RunReport {
     let r = agents.len();
     assert_eq!(
         r,
@@ -336,6 +404,8 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
         checkpoints: Mutex::new(Vec::new()),
         port_seed: cfg.seed.wrapping_add(0x9047_5EED),
         scramble_ports: cfg.scramble_ports,
+        events: Mutex::new(Vec::new()),
+        record_events: cfg.record_trace,
     });
     // Pre-mark home-bases.
     for (i, &hb) in bc.homebases().iter().enumerate() {
@@ -345,8 +415,8 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
     let (req_tx, req_rx) = unbounded::<Msg>();
     let mut grant_txs: Vec<Sender<Grant>> = Vec::with_capacity(r);
     let mut outcomes: Vec<AgentOutcome> = vec![AgentOutcome::Interrupted(Interrupt::Cancelled); r];
-    let mut scheduler = cfg.policy.build(cfg.seed);
     let mut steps: u64 = 0;
+    let mut preemptions: u64 = 0;
     let mut interrupted: Option<Interrupt> = None;
     let mut trace: Vec<usize> = Vec::new();
 
@@ -379,6 +449,7 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
         let mut st: Vec<St> = vec![St::Running; r];
         let mut live = r;
         let mut aborting: Option<Interrupt> = None;
+        let mut last_pick: Option<usize> = None;
 
         let apply = |msg: Msg,
                      st: &mut Vec<St>,
@@ -397,7 +468,7 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
 
         while live > 0 {
             // Ensure every live agent is parked (or done).
-            while st.iter().any(|s| *s == St::Running) {
+            while st.contains(&St::Running) {
                 let msg = req_rx.recv().expect("agents alive");
                 apply(msg, &mut st, &mut outcomes, &mut live);
             }
@@ -447,12 +518,21 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
 
             let pick = scheduler.pick(&ready, steps);
             debug_assert!(ready.contains(&pick), "scheduler must pick a ready agent");
+            if let Some(prev) = last_pick {
+                // A switch away from a still-ready agent is a
+                // preemption — the quantity context-bounded exploration
+                // budgets. A switch forced by `prev` blocking is not.
+                if prev != pick && ready.contains(&prev) {
+                    preemptions += 1;
+                }
+            }
+            last_pick = Some(pick);
             if cfg.record_trace {
                 trace.push(pick);
             }
             st[pick] = St::Running;
             grant_txs[pick]
-                .send(Grant::Go)
+                .send(Grant::Go(steps))
                 .expect("granted agent is alive");
             // Block until the granted agent parks again or finishes —
             // everyone else is already parked, so the next message is its.
@@ -483,16 +563,19 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
         per_agent: shared.metrics.iter().map(|m| m.snapshot()).collect(),
         checkpoints: shared.checkpoints.lock().clone(),
         steps,
+        preemptions,
     };
 
+    let events = std::mem::take(&mut *shared.events.lock());
     RunReport {
         outcomes,
         leader,
         colors,
         metrics,
         interrupted,
-        policy: cfg.policy.build(0).name(),
+        policy: scheduler.name(),
         trace,
+        events,
     }
 }
 
@@ -723,6 +806,8 @@ mod tests {
             checkpoints: Mutex::new(Vec::new()),
             port_seed: 99,
             scramble_ports: true,
+            events: Mutex::new(Vec::new()),
+            record_events: false,
         };
         let m0 = shared.port_map(0, 2);
         let m0_again = shared.port_map(0, 2);

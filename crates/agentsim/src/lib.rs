@@ -58,6 +58,7 @@
 
 pub mod color;
 pub mod ctx;
+pub mod explore;
 pub mod freerun;
 pub mod gated;
 pub mod message_net;
@@ -66,12 +67,17 @@ pub mod sched;
 pub mod shuffle;
 pub mod sign;
 pub mod stepagent;
+pub mod trace;
 pub mod whiteboard;
 
 pub use color::{Color, ColorRegistry};
 pub use ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
-pub use gated::{run_gated, GatedCtx, RunConfig, RunReport};
+pub use explore::{explore_schedules, shrink_schedule, shrink_trace, ExploreConfig, ExploreReport};
+pub use gated::{run_gated, run_gated_with, GatedCtx, RunConfig, RunReport};
 pub use metrics::{AgentMetrics, Metrics};
-pub use sched::{LockstepScheduler, RandomScheduler, RoundRobinScheduler, Scheduler};
+pub use sched::{
+    LockstepScheduler, RandomScheduler, ReplayScheduler, RoundRobinScheduler, Scheduler,
+};
 pub use sign::{Sign, SignKind};
+pub use trace::{Trace, TraceEvent};
 pub use whiteboard::Whiteboard;

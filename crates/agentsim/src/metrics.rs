@@ -18,13 +18,37 @@ pub struct AgentMetrics {
 }
 
 impl AgentMetrics {
-    /// Snapshot as plain numbers.
+    /// Snapshot as plain numbers — a **consistent** triple even while
+    /// the owning agent is still incrementing.
+    ///
+    /// The counters are monotone and only the owning agent increments
+    /// them, but the free-running engine snapshots from other threads,
+    /// so three independent loads could observe a torn state that never
+    /// existed (e.g. a `moves` value from before an increment paired
+    /// with an `accesses` value from after a later one). The fix reads
+    /// the triple twice and retries until both passes agree: if
+    /// `moves` matched across the two passes it was constant over an
+    /// interval covering the other first-pass loads, and likewise for
+    /// each counter, so the three constancy intervals overlap and the
+    /// returned triple is the actual state at some instant inside the
+    /// overlap. `SeqCst` keeps the pass ordering from being reordered
+    /// away.
     pub fn snapshot(&self) -> (u64, u64, u64) {
-        (
-            self.moves.load(Ordering::Relaxed),
-            self.accesses.load(Ordering::Relaxed),
-            self.waits.load(Ordering::Relaxed),
-        )
+        loop {
+            let first = (
+                self.moves.load(Ordering::SeqCst),
+                self.accesses.load(Ordering::SeqCst),
+                self.waits.load(Ordering::SeqCst),
+            );
+            let second = (
+                self.moves.load(Ordering::SeqCst),
+                self.accesses.load(Ordering::SeqCst),
+                self.waits.load(Ordering::SeqCst),
+            );
+            if first == second {
+                return first;
+            }
+        }
     }
 }
 
@@ -61,6 +85,10 @@ pub struct Metrics {
     pub checkpoints: Vec<Checkpoint>,
     /// Scheduler grants issued (gated engine only).
     pub steps: u64,
+    /// Preemptive context switches: grants where the scheduler switched
+    /// away from an agent that was still ready (gated engine only; the
+    /// quantity Chess-style exploration bounds).
+    pub preemptions: u64,
 }
 
 impl Metrics {
@@ -95,6 +123,7 @@ mod tests {
             per_agent: vec![(10, 20, 1), (5, 7, 0)],
             checkpoints: vec![],
             steps: 42,
+            preemptions: 0,
         };
         assert_eq!(m.total_moves(), 15);
         assert_eq!(m.total_accesses(), 27);
@@ -110,5 +139,41 @@ mod tests {
         assert_eq!(am.snapshot(), (3, 2, 0));
         let cloned = am.clone();
         assert_eq!(cloned.snapshot(), (3, 2, 0));
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_concurrent_increments() {
+        // A writer increments the triple in the fixed order moves →
+        // accesses → waits, so every state the system ever passes
+        // through satisfies waits ≤ accesses ≤ moves ≤ waits + 1.
+        // A torn snapshot (e.g. pre-increment moves with post-increment
+        // waits) violates the invariant; the stable double-read in
+        // `snapshot` must never surface one. This also exercises the
+        // Clone path, which goes through `snapshot`.
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let am = Arc::new(AgentMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let am = Arc::clone(&am);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    am.moves.fetch_add(1, Ordering::SeqCst);
+                    am.accesses.fetch_add(1, Ordering::SeqCst);
+                    am.waits.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        for _ in 0..20_000 {
+            let (m, a, w) = am.clone().snapshot();
+            assert!(
+                w <= a && a <= m && m <= w + 1,
+                "torn snapshot: moves {m}, accesses {a}, waits {w}"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
     }
 }

@@ -107,6 +107,78 @@ impl Scheduler for GreedyLowestScheduler {
     }
 }
 
+/// Replays a recorded (or hand-written) grant sequence: at tick `t` it
+/// picks the `t`-th agent of the schedule. Because a gated run is a
+/// deterministic function of the grant sequence, replaying a recorded
+/// schedule reproduces the original execution bit-for-bit.
+///
+/// Two divergence modes:
+///
+/// * **strict** ([`ReplayScheduler::strict`]) — panics if the scheduled
+///   agent is not ready, i.e. the schedule does not correspond to a real
+///   execution of this protocol on this instance. Regression tests use
+///   this to catch silent drift.
+/// * **lenient** ([`ReplayScheduler::new`]) — falls back to the lowest
+///   ready agent and records the first divergent tick; the trace
+///   shrinker relies on this to evaluate edited schedules.
+///
+/// Once the schedule is exhausted the scheduler keeps granting the
+/// lowest ready agent (so runs longer than the recording still finish).
+#[derive(Debug, Clone)]
+pub struct ReplayScheduler {
+    schedule: Vec<usize>,
+    pos: usize,
+    strict: bool,
+    diverged: Option<u64>,
+}
+
+impl ReplayScheduler {
+    /// Lenient replayer for `schedule`.
+    pub fn new(schedule: Vec<usize>) -> ReplayScheduler {
+        ReplayScheduler { schedule, pos: 0, strict: false, diverged: None }
+    }
+
+    /// Strict replayer: panic on the first divergence.
+    pub fn strict(schedule: Vec<usize>) -> ReplayScheduler {
+        ReplayScheduler { schedule, pos: 0, strict: true, diverged: None }
+    }
+
+    /// First tick where the scheduled agent was not ready, if any.
+    pub fn diverged_at(&self) -> Option<u64> {
+        self.diverged
+    }
+
+    /// Whether the run consumed the whole schedule.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.schedule.len()
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, ready: &[usize], tick: u64) -> usize {
+        if self.pos < self.schedule.len() {
+            let want = self.schedule[self.pos];
+            self.pos += 1;
+            if ready.contains(&want) {
+                return want;
+            }
+            if self.strict {
+                panic!(
+                    "replay diverged at tick {tick}: scheduled agent {want} \
+                     is not ready (ready: {ready:?})"
+                );
+            }
+            if self.diverged.is_none() {
+                self.diverged = Some(tick);
+            }
+        }
+        ready[0]
+    }
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
 /// Convenience constructor used by configuration code.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
@@ -128,6 +200,17 @@ impl Policy {
             Policy::RoundRobin => Box::new(RoundRobinScheduler::default()),
             Policy::Lockstep => Box::new(LockstepScheduler::default()),
             Policy::GreedyLowest => Box::new(GreedyLowestScheduler),
+        }
+    }
+
+    /// The policy's report name (same as its scheduler's
+    /// [`Scheduler::name`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Random => "random",
+            Policy::RoundRobin => "round-robin",
+            Policy::Lockstep => "lockstep",
+            Policy::GreedyLowest => "greedy-lowest",
         }
     }
 }
@@ -181,7 +264,34 @@ mod tests {
     fn policy_builders() {
         for p in [Policy::Random, Policy::RoundRobin, Policy::Lockstep, Policy::GreedyLowest] {
             let s = p.build(1);
-            assert!(!s.name().is_empty());
+            assert_eq!(s.name(), p.name(), "Policy::name matches its scheduler");
         }
+    }
+
+    #[test]
+    fn replay_follows_schedule_then_falls_back() {
+        let mut s = ReplayScheduler::new(vec![2, 0, 2]);
+        assert_eq!(s.pick(&[0, 2], 1), 2);
+        assert_eq!(s.pick(&[0, 2], 2), 0);
+        assert_eq!(s.pick(&[0, 2], 3), 2);
+        assert!(s.exhausted());
+        // Schedule spent: lowest ready from now on.
+        assert_eq!(s.pick(&[1, 3], 4), 1);
+        assert_eq!(s.diverged_at(), None);
+    }
+
+    #[test]
+    fn replay_lenient_records_divergence() {
+        let mut s = ReplayScheduler::new(vec![5, 0]);
+        assert_eq!(s.pick(&[0, 1], 1), 0, "agent 5 not ready → lowest ready");
+        assert_eq!(s.diverged_at(), Some(1));
+        assert_eq!(s.pick(&[0, 1], 2), 0, "rest of schedule still honored");
+    }
+
+    #[test]
+    #[should_panic(expected = "replay diverged")]
+    fn replay_strict_panics_on_divergence() {
+        let mut s = ReplayScheduler::strict(vec![5]);
+        s.pick(&[0, 1], 1);
     }
 }

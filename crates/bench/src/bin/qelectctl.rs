@@ -5,22 +5,29 @@
 //! cargo run -p qelect-bench --bin qelectctl -- cayley hypercube:3 --agents 0,7
 //! cargo run -p qelect-bench --bin qelectctl -- petersen petersen --agents 0,1
 //! cargo run -p qelect-bench --bin qelectctl -- elect petersen --agents 0,1 --dot
+//! cargo run -p qelect-bench --bin qelectctl -- explore cycle:9 --agents 0,1,2,3,4
+//! cargo run -p qelect-bench --bin qelectctl -- explore cycle:6 --agents 0,3 \
+//!     --target anon --emit-trace tests/traces/c6_two_leaders.json
 //! ```
 
+use qelect::anonymous::{ring_probe, ring_probe_counterexample};
 use qelect::prelude::*;
-use qelect_bench::cli::{parse_args, Invocation, Protocol};
+use qelect_agentsim::explore::shrink_schedule;
+use qelect_agentsim::gated::{run_gated_with, GatedAgent};
+use qelect_agentsim::AgentOutcome;
+use qelect_bench::cli::{parse_command, Command, ExploreInvocation, ExploreTarget, Invocation, Protocol};
 use qelect_graph::Bicolored;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let inv = match parse_args(&args) {
-        Ok(inv) => inv,
+    match parse_command(&args) {
+        Ok(Command::Run(inv)) => run(inv),
+        Ok(Command::Explore(inv)) => explore(inv),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
-    };
-    run(inv);
+    }
 }
 
 fn run(inv: Invocation) {
@@ -87,4 +94,179 @@ fn run(inv: Invocation) {
             "not achievable by ELECT"
         }
     );
+}
+
+fn save_trace(trace: &Trace, path: &str) {
+    if let Err(e) = trace.save(std::path::Path::new(path)) {
+        eprintln!("error: cannot write trace to {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("trace written to {path} ({} ticks)", trace.schedule.len());
+}
+
+fn print_coverage(report: &ExploreReport) {
+    println!(
+        "explored {} schedules, {} distinct terminal states, longest run {} ticks",
+        report.schedules_explored, report.states_hashed, report.max_ticks
+    );
+    if report.counterexample.is_some() {
+        println!("coverage: stopped at the first violation");
+    } else if report.complete {
+        println!("coverage: bounded schedule tree exhausted (exhaustive within the bound)");
+    } else if report.swarm_used {
+        println!("coverage: DFS budget exhausted; randomized swarm fallback ran");
+    } else {
+        println!("coverage: schedule budget exhausted before the tree");
+    }
+}
+
+fn explore(inv: ExploreInvocation) {
+    let bc = match Bicolored::new(inv.graph.clone(), &inv.agents) {
+        Ok(bc) => bc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "explore {:?}: {} (n = {}, |E| = {}), agents at {:?}, seed {}",
+        inv.target,
+        inv.family_spec,
+        bc.n(),
+        bc.graph().m(),
+        bc.homebases(),
+        inv.seed
+    );
+    println!(
+        "bound: {} preemptions, budget {} schedules (+{} swarm)",
+        inv.preemption_bound, inv.max_schedules, inv.swarm_runs
+    );
+    let run_cfg = RunConfig { seed: inv.seed, record_trace: true, ..RunConfig::default() };
+    let ecfg = ExploreConfig {
+        preemption_bound: inv.preemption_bound,
+        max_schedules: inv.max_schedules,
+        swarm_runs: inv.swarm_runs,
+        swarm_seed: inv.seed ^ 0xADE5_ADE5,
+    };
+    match inv.target {
+        ExploreTarget::Elect => explore_elect_target(&bc, run_cfg, &ecfg, &inv),
+        ExploreTarget::Anonymous => explore_anon_target(&bc, run_cfg, &ecfg, &inv),
+    }
+}
+
+/// Explore ELECT against the gcd solvability oracle. A violation here is
+/// a genuine bug (the oracle is Theorem 3.1) — exit nonzero with a
+/// shrunk witness.
+fn explore_elect_target(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    ecfg: &ExploreConfig,
+    inv: &ExploreInvocation,
+) {
+    let solvable = qelect::solvability::elect_succeeds(bc);
+    println!(
+        "property: gcd oracle says election is {} — every schedule must agree",
+        if solvable { "possible" } else { "impossible" }
+    );
+    let report = explore_elect(bc, run_cfg, ecfg);
+    print_coverage(&report);
+    match &report.counterexample {
+        None => {
+            println!("PASS: no schedule violated the oracle property");
+            if let Some(path) = &inv.emit_trace {
+                let label = format!(
+                    "ELECT reference run on {} agents {:?}",
+                    inv.family_spec, inv.agents
+                );
+                let (_, trace) = run_elect_recorded(bc, run_cfg, &label);
+                save_trace(&trace, path);
+            }
+        }
+        Some(ce) => {
+            println!("VIOLATION: {}", ce.violation);
+            let fault = qelect::elect::ElectFault::default();
+            let trace = ce.to_trace(
+                run_cfg.seed,
+                bc.n(),
+                &format!("ELECT violation on {} agents {:?}", inv.family_spec, inv.agents),
+            );
+            let shrunk = qelect_agentsim::explore::shrink_trace(&trace, |s| {
+                qelect::replay::elect_schedule_fails(bc, run_cfg, fault, s)
+            });
+            println!(
+                "witness schedule shrunk {} → {} ticks",
+                trace.schedule.len(),
+                shrunk.schedule.len()
+            );
+            if let Some(path) = &inv.emit_trace {
+                save_trace(&shrunk, path);
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Explore the anonymous ring probe for double elections. Finding one is
+/// *expected* — it is the paper's §1.3 impossibility argument made
+/// executable — so the exit code stays 0 and the witness can be emitted
+/// as a committed artifact.
+fn explore_anon_target(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    ecfg: &ExploreConfig,
+    inv: &ExploreInvocation,
+) {
+    println!("property: at most one agent may declare itself leader");
+    let report = qelect_agentsim::explore_schedules(
+        ecfg,
+        |scheduler| {
+            let agents: Vec<GatedAgent> =
+                (0..bc.r()).map(|_| -> GatedAgent { Box::new(ring_probe) }).collect();
+            run_gated_with(bc, run_cfg, agents, scheduler)
+        },
+        |report| {
+            let leaders =
+                report.outcomes.iter().filter(|o| **o == AgentOutcome::Leader).count();
+            if leaders <= 1 {
+                Ok(())
+            } else {
+                Err(format!("{leaders} agents declared themselves leader"))
+            }
+        },
+    );
+    print_coverage(&report);
+    match &report.counterexample {
+        None => println!("no double election found within the bound"),
+        Some(ce) => {
+            println!("double election found (as §1.3 predicts): {}", ce.violation);
+            let shrunk = shrink_schedule(&ce.schedule, |s| {
+                let agents: Vec<GatedAgent> =
+                    (0..bc.r()).map(|_| -> GatedAgent { Box::new(ring_probe) }).collect();
+                let mut sched = qelect_agentsim::ReplayScheduler::new(s.to_vec());
+                let rep = run_gated_with(bc, run_cfg, agents, &mut sched);
+                rep.outcomes.iter().filter(|o| **o == AgentOutcome::Leader).count() >= 2
+            });
+            println!(
+                "witness schedule shrunk {} → {} ticks",
+                ce.schedule.len(),
+                shrunk.len()
+            );
+        }
+    }
+    if let Some(path) = &inv.emit_trace {
+        // The committed artifact is the *canonical* lockstep schedule of
+        // the paper's argument (antipodal twins on an even cycle), not
+        // whatever schedule the DFS happened to try first.
+        let n = bc.n();
+        if !n.is_multiple_of(2) || inv.agents != vec![0, n / 2] {
+            eprintln!(
+                "error: --emit-trace for the anonymous target needs the canonical \
+                 instance: an even cycle with agents 0,{}",
+                n / 2
+            );
+            std::process::exit(2);
+        }
+        let (_, trace) = ring_probe_counterexample(n);
+        save_trace(&trace, path);
+    }
 }

@@ -14,6 +14,21 @@
 //!            --policy P       random | round-robin | lockstep | greedy
 //!            --dot            print the instance as Graphviz DOT
 //! ```
+//!
+//! The `explore` subcommand runs the bounded schedule-exploration
+//! harness instead of a single schedule:
+//!
+//! ```text
+//! qelectctl explore <family> [options]
+//!
+//! options:   --agents 0,1,3        home-bases (default: 0)
+//!            --seed N              run seed (default 0)
+//!            --target elect|anon   protocol under exploration (default elect)
+//!            --max-schedules N     schedule budget (default 1000)
+//!            --preemption-bound N  Chess-style bound (default 2)
+//!            --swarm N             randomized fallback runs (default 64)
+//!            --emit-trace PATH     write the witness trace as JSON
+//! ```
 
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Graph};
@@ -54,6 +69,47 @@ pub struct Invocation {
     pub dot: bool,
     /// The family spec (echoed in output).
     pub family_spec: String,
+}
+
+/// Which protocol the `explore` subcommand drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreTarget {
+    /// Protocol ELECT, checked against the gcd solvability oracle.
+    Elect,
+    /// The anonymous ring probe, checked for double elections (§1.3).
+    Anonymous,
+}
+
+/// A fully parsed `explore` invocation.
+#[derive(Debug)]
+pub struct ExploreInvocation {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Home-bases.
+    pub agents: Vec<usize>,
+    /// Run seed (colors + port scrambles; swarm seeds derive from it).
+    pub seed: u64,
+    /// Protocol under exploration.
+    pub target: ExploreTarget,
+    /// Total schedule budget (DFS + swarm).
+    pub max_schedules: usize,
+    /// Chess-style preemption bound for the DFS.
+    pub preemption_bound: usize,
+    /// Randomized fallback runs when the DFS budget runs out.
+    pub swarm_runs: usize,
+    /// Where to write the witness trace as JSON, if anywhere.
+    pub emit_trace: Option<String>,
+    /// The family spec (echoed in output).
+    pub family_spec: String,
+}
+
+/// Either a single-schedule run or a schedule exploration.
+#[derive(Debug)]
+pub enum Command {
+    /// `qelectctl <protocol> <family> …`
+    Run(Invocation),
+    /// `qelectctl explore <family> …`
+    Explore(ExploreInvocation),
 }
 
 /// Parse errors, with a user-facing message.
@@ -187,6 +243,90 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, ParseError> {
     Ok(Invocation { protocol, graph, agents, seed, policy, dot, family_spec })
 }
 
+/// Parse an `explore` argv (without the binary name and the `explore`
+/// token itself).
+pub fn parse_explore(args: &[String]) -> Result<ExploreInvocation, ParseError> {
+    if args.is_empty() {
+        return err(
+            "usage: qelectctl explore <family> [--agents 0,1,3] [--seed N] \
+             [--target elect|anon] [--max-schedules N] [--preemption-bound N] \
+             [--swarm N] [--emit-trace PATH]",
+        );
+    }
+    let family_spec = args[0].clone();
+    let graph = parse_family(&family_spec)?;
+    let mut inv = ExploreInvocation {
+        graph,
+        agents: vec![0usize],
+        seed: 0,
+        target: ExploreTarget::Elect,
+        max_schedules: 1000,
+        preemption_bound: 2,
+        swarm_runs: 64,
+        emit_trace: None,
+        family_spec,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--agents" => {
+                i += 1;
+                let list = args.get(i).ok_or(ParseError("--agents needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> =
+                    list.split(',').map(|a| parse_usize(a, "agent node")).collect();
+                inv.agents = parsed?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                inv.seed = parse_usize(v, "seed")? as u64;
+            }
+            "--target" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--target needs a value".into()))?;
+                inv.target = match v.as_str() {
+                    "elect" => ExploreTarget::Elect,
+                    "anonymous" | "anon" => ExploreTarget::Anonymous,
+                    other => return err(format!("unknown explore target '{other}'")),
+                };
+            }
+            "--max-schedules" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--max-schedules needs a value".into()))?;
+                inv.max_schedules = parse_usize(v, "schedule budget")?;
+            }
+            "--preemption-bound" => {
+                i += 1;
+                let v =
+                    args.get(i).ok_or(ParseError("--preemption-bound needs a value".into()))?;
+                inv.preemption_bound = parse_usize(v, "preemption bound")?;
+            }
+            "--swarm" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--swarm needs a value".into()))?;
+                inv.swarm_runs = parse_usize(v, "swarm runs")?;
+            }
+            "--emit-trace" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--emit-trace needs a path".into()))?;
+                inv.emit_trace = Some(v.clone());
+            }
+            other => return err(format!("unknown explore option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(inv)
+}
+
+/// Parse a full argv (without the binary name), dispatching between the
+/// single-run and `explore` forms.
+pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
+    match args.first().map(String::as_str) {
+        Some("explore") => parse_explore(&args[1..]).map(Command::Explore),
+        _ => parse_args(args).map(Command::Run),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +395,53 @@ mod tests {
     fn protocol_aliases() {
         assert_eq!(parse_protocol("quant").unwrap(), Protocol::Quantitative);
         assert_eq!(parse_protocol("anon").unwrap(), Protocol::Anonymous);
+    }
+
+    #[test]
+    fn parses_explore_defaults() {
+        let cmd = parse_command(&argv("explore cycle:9")).unwrap();
+        let Command::Explore(inv) = cmd else { panic!("expected explore") };
+        assert_eq!(inv.graph.n(), 9);
+        assert_eq!(inv.agents, vec![0]);
+        assert_eq!(inv.target, ExploreTarget::Elect);
+        assert_eq!(inv.max_schedules, 1000);
+        assert_eq!(inv.preemption_bound, 2);
+        assert_eq!(inv.swarm_runs, 64);
+        assert!(inv.emit_trace.is_none());
+    }
+
+    #[test]
+    fn parses_explore_full_options() {
+        let cmd = parse_command(&argv(
+            "explore cycle:6 --agents 0,3 --seed 7 --target anon \
+             --max-schedules 50 --preemption-bound 1 --swarm 5 \
+             --emit-trace /tmp/t.json",
+        ))
+        .unwrap();
+        let Command::Explore(inv) = cmd else { panic!("expected explore") };
+        assert_eq!(inv.agents, vec![0, 3]);
+        assert_eq!(inv.seed, 7);
+        assert_eq!(inv.target, ExploreTarget::Anonymous);
+        assert_eq!(inv.max_schedules, 50);
+        assert_eq!(inv.preemption_bound, 1);
+        assert_eq!(inv.swarm_runs, 5);
+        assert_eq!(inv.emit_trace.as_deref(), Some("/tmp/t.json"));
+    }
+
+    #[test]
+    fn parse_command_still_handles_plain_runs() {
+        let cmd = parse_command(&argv("elect cycle:9 --agents 0,1,3")).unwrap();
+        let Command::Run(inv) = cmd else { panic!("expected run") };
+        assert_eq!(inv.protocol, Protocol::Elect);
+        assert_eq!(inv.agents, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn explore_rejects_nonsense() {
+        assert!(parse_command(&argv("explore")).is_err());
+        assert!(parse_command(&argv("explore nosuch:5")).is_err());
+        assert!(parse_command(&argv("explore cycle:5 --target warp")).is_err());
+        assert!(parse_command(&argv("explore cycle:5 --frobnicate")).is_err());
+        assert!(parse_command(&argv("explore cycle:5 --emit-trace")).is_err());
     }
 }

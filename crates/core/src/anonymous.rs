@@ -72,6 +72,43 @@ pub fn shared_color(seed: u64) -> qelect_agentsim::Color {
     ColorRegistry::new(seed).fresh()
 }
 
+/// The §1.3 impossibility argument as a recorded artifact: run the ring
+/// probe with lockstep twins on `C_n` (agents antipodal) and return the
+/// instance together with the double-election trace. The `n = 6` trace
+/// is committed under `tests/traces/c6_two_leaders.json` and replayed
+/// by the regression suite; `qelectctl explore --emit-trace` regenerates
+/// it.
+///
+/// `n` must be even and ≥ 4 so that the antipodal placement is
+/// symmetric.
+pub fn ring_probe_counterexample(n: usize) -> (Bicolored, qelect_agentsim::Trace) {
+    assert!(n >= 4 && n.is_multiple_of(2), "need an even cycle for the antipodal twins");
+    let bc = Bicolored::new(
+        qelect_graph::families::cycle(n).expect("cycle builds"),
+        &[0, n / 2],
+    )
+    .expect("antipodal home-bases are valid");
+    let cfg = RunConfig {
+        seed: 0,
+        policy: qelect_agentsim::sched::Policy::Lockstep,
+        record_trace: true,
+        ..RunConfig::default()
+    };
+    let report = run_ring_probe(&bc, cfg);
+    let leaders = report
+        .outcomes
+        .iter()
+        .filter(|o| **o == AgentOutcome::Leader)
+        .count();
+    debug_assert_eq!(leaders, 2, "lockstep twins must double-elect");
+    let trace = report.to_trace(
+        &bc,
+        cfg.seed,
+        &format!("C{n} lockstep twins: both ring-probe agents elect themselves (§1.3)"),
+    );
+    (bc, trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +154,20 @@ mod tests {
                 .count();
             assert_eq!(leaders, 2, "n = {n}: {:?}", report.outcomes);
         }
+    }
+
+    #[test]
+    fn counterexample_trace_replays_to_double_election() {
+        let (bc, trace) = ring_probe_counterexample(6);
+        assert_eq!(trace.agents, 2);
+        assert_eq!(trace.nodes, 6);
+        let report = crate::replay::replay_ring_probe(&bc, &trace, true);
+        let leaders = report
+            .outcomes
+            .iter()
+            .filter(|o| **o == AgentOutcome::Leader)
+            .count();
+        assert_eq!(leaders, 2);
     }
 
     #[test]

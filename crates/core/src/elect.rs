@@ -110,10 +110,31 @@ fn class_homes(view: &LocalView, class: usize) -> Vec<usize> {
     view.classes[class].clone()
 }
 
+/// **Test-only** fault injection for the exploration harness: seeded
+/// bugs that a correct exploration run must find and shrink. Production
+/// entry points always pass [`ElectFault::default`] (no faults).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElectFault {
+    /// Invert the final gcd-derived solvability check: announce a
+    /// leader exactly when `gcd(|C_1|, …, |C_k|) > 1`. On unsolvable
+    /// instances every surviving agent then declares itself leader —
+    /// the multi-leader violation the schedule explorer must catch.
+    pub invert_gcd_check: bool,
+}
+
 /// Protocol ELECT, as run by one agent. Generic over the runtime engine.
 pub fn elect<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
     let view = compute_local_view(ctx)?;
     elect_from_view(ctx, view)
+}
+
+/// [`elect`] with an injected fault (test-only; see [`ElectFault`]).
+pub fn elect_with_fault<C: MobileCtx>(
+    ctx: &mut C,
+    fault: ElectFault,
+) -> Result<AgentOutcome, Interrupt> {
+    let view = compute_local_view(ctx)?;
+    elect_from_view_with(ctx, view, fault)
 }
 
 /// ELECT after the local view is computed (shared with the Cayley
@@ -121,6 +142,15 @@ pub fn elect<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
 pub fn elect_from_view<C: MobileCtx>(
     ctx: &mut C,
     view: LocalView,
+) -> Result<AgentOutcome, Interrupt> {
+    elect_from_view_with(ctx, view, ElectFault::default())
+}
+
+/// [`elect_from_view`] with an injected fault (test-only).
+pub fn elect_from_view_with<C: MobileCtx>(
+    ctx: &mut C,
+    view: LocalView,
+    fault: ElectFault,
 ) -> Result<AgentOutcome, Interrupt> {
     let map = view.map.clone();
     let mut cr = Courier::new(ctx, map);
@@ -209,10 +239,13 @@ pub fn elect_from_view<C: MobileCtx>(
         }
     }
 
+    let elects = (view.schedule.final_d == 1) != fault.invert_gcd_check;
     match active {
-        Some(survivors) if view.schedule.final_d == 1 => {
-            debug_assert_eq!(survivors.len(), 1);
-            debug_assert_eq!(survivors[0], 0, "the lone survivor is me");
+        Some(survivors) if elects => {
+            debug_assert!(
+                fault != ElectFault::default() || survivors.len() == 1,
+                "without faults the lone survivor is me"
+            );
             announce_all(&mut cr, SignKind::Leader)?;
             cr.goto(0)?;
             Ok(AgentOutcome::Leader)
@@ -231,9 +264,17 @@ pub fn elect_from_view<C: MobileCtx>(
 /// home-base).
 pub fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
-        .map(|_| -> GatedAgent { Box::new(|ctx| elect(ctx)) })
+        .map(|_| -> GatedAgent { Box::new(elect) })
         .collect();
     run_gated(bc, cfg, agents)
+}
+
+/// Fresh ELECT agent programs, optionally faulty (the building block
+/// the replay/exploration drivers rebuild for every schedule).
+pub fn elect_agents(r: usize, fault: ElectFault) -> Vec<GatedAgent> {
+    (0..r)
+        .map(|_| -> GatedAgent { Box::new(move |ctx| elect_with_fault(ctx, fault)) })
+        .collect()
 }
 
 #[cfg(test)]

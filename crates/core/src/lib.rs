@@ -58,6 +58,7 @@ pub mod mapdraw;
 pub mod petersen;
 pub mod quantitative;
 pub mod reduce;
+pub mod replay;
 pub mod schedule;
 pub mod solvability;
 pub mod stepquant;
@@ -68,8 +69,11 @@ pub mod view_elect;
 pub mod prelude {
     pub use crate::elect::{elect, run_elect};
     pub use crate::quantitative::{quantitative_elect, run_quantitative};
+    pub use crate::replay::{explore_elect, replay_elect, run_elect_recorded};
     pub use crate::solvability::{election_possible_cayley, gcd_of_class_sizes};
     pub use crate::translation_elect::{run_translation_elect, translation_elect};
+    pub use qelect_agentsim::explore::{ExploreConfig, ExploreReport};
+    pub use qelect_agentsim::trace::Trace;
     pub use qelect_agentsim::{AgentOutcome, MobileCtx, RunConfig, RunReport};
 }
 

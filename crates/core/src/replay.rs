@@ -1,0 +1,223 @@
+//! Record, replay, and systematically explore ELECT executions.
+//!
+//! The gated engine is deterministic given `(instance, seed, grant
+//! sequence)`, which buys three capabilities, packaged here for the
+//! election protocols:
+//!
+//! * **Record** — [`run_elect_recorded`] / [`run_translation_elect_recorded`]
+//!   return the run together with its [`Trace`] (schedule + per-primitive
+//!   events), suitable for committing under `tests/traces/`.
+//! * **Replay** — [`replay_elect`] / [`replay_ring_probe`] re-execute a
+//!   trace bit-for-bit (strict mode panics on the first divergence, the
+//!   regression-test setting; lenient mode is what the shrinker uses).
+//! * **Explore** — [`explore_elect`] drives
+//!   [`explore_schedules`](qelect_agentsim::explore::explore_schedules)
+//!   over ELECT with the gcd solvability oracle as the checked property:
+//!   solvable instances must produce a clean election under *every*
+//!   schedule within the preemption bound, unsolvable ones must never
+//!   produce a leader. [`explore_elect_with_fault`] seeds a deliberate
+//!   bug (see [`ElectFault`]) to prove the harness actually catches and
+//!   shrinks violations.
+
+use crate::anonymous::ring_probe;
+use crate::elect::{elect_agents, ElectFault};
+use crate::solvability::elect_succeeds;
+use crate::translation_elect::translation_elect;
+use qelect_agentsim::explore::{explore_schedules, ExploreConfig, ExploreReport};
+use qelect_agentsim::gated::{run_gated, run_gated_with, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::sched::ReplayScheduler;
+use qelect_agentsim::trace::Trace;
+use qelect_graph::Bicolored;
+
+/// Run ELECT with trace recording on and package the result.
+pub fn run_elect_recorded(bc: &Bicolored, cfg: RunConfig, label: &str) -> (RunReport, Trace) {
+    let cfg = RunConfig { record_trace: true, ..cfg };
+    let report = run_gated(bc, cfg, elect_agents(bc.r(), ElectFault::default()));
+    let trace = report.to_trace(bc, cfg.seed, label);
+    (report, trace)
+}
+
+/// Run the effectual Cayley variant with trace recording on.
+pub fn run_translation_elect_recorded(
+    bc: &Bicolored,
+    cfg: RunConfig,
+    label: &str,
+) -> (RunReport, Trace) {
+    let cfg = RunConfig { record_trace: true, ..cfg };
+    let agents: Vec<GatedAgent> = (0..bc.r())
+        .map(|_| -> GatedAgent { Box::new(translation_elect) })
+        .collect();
+    let report = run_gated(bc, cfg, agents);
+    let trace = report.to_trace(bc, cfg.seed, label);
+    (report, trace)
+}
+
+fn check_instance(bc: &Bicolored, trace: &Trace) {
+    assert_eq!(
+        trace.agents,
+        bc.r(),
+        "trace was recorded with {} agents, instance has {}",
+        trace.agents,
+        bc.r()
+    );
+    assert_eq!(
+        trace.nodes,
+        bc.n(),
+        "trace was recorded on {} nodes, instance has {}",
+        trace.nodes,
+        bc.n()
+    );
+}
+
+/// Re-execute a recorded ELECT run. The trace's seed is used (colors
+/// and port scrambles must match the recording for bit-for-bit replay);
+/// `strict` panics on the first schedule divergence.
+pub fn replay_elect(bc: &Bicolored, trace: &Trace, strict: bool) -> RunReport {
+    check_instance(bc, trace);
+    let cfg = RunConfig { seed: trace.seed, record_trace: true, ..RunConfig::default() };
+    let mut scheduler = if strict {
+        ReplayScheduler::strict(trace.schedule.clone())
+    } else {
+        ReplayScheduler::new(trace.schedule.clone())
+    };
+    run_gated_with(bc, cfg, elect_agents(bc.r(), ElectFault::default()), &mut scheduler)
+}
+
+/// Re-execute a recorded anonymous ring-probe run (the §1.3
+/// impossibility counterexample lives in a committed trace).
+pub fn replay_ring_probe(bc: &Bicolored, trace: &Trace, strict: bool) -> RunReport {
+    check_instance(bc, trace);
+    let cfg = RunConfig { seed: trace.seed, record_trace: true, ..RunConfig::default() };
+    let mut scheduler = if strict {
+        ReplayScheduler::strict(trace.schedule.clone())
+    } else {
+        ReplayScheduler::new(trace.schedule.clone())
+    };
+    let agents: Vec<GatedAgent> = (0..bc.r())
+        .map(|_| -> GatedAgent { Box::new(ring_probe) })
+        .collect();
+    run_gated_with(bc, cfg, agents, &mut scheduler)
+}
+
+/// The correctness property exploration checks, derived from the gcd
+/// oracle (Theorem 3.1): on solvable instances every schedule must
+/// yield a clean election; on unsolvable ones, a unanimous
+/// `Unsolvable` verdict — and in particular **never** a leader.
+pub fn elect_oracle_property(bc: &Bicolored) -> impl Fn(&RunReport) -> Result<(), String> + '_ {
+    let solvable = elect_succeeds(bc);
+    move |report: &RunReport| {
+        if let Some(i) = &report.interrupted {
+            return Err(format!("run interrupted: {i}"));
+        }
+        match (solvable, report.clean_election(), report.unanimous_unsolvable()) {
+            (true, true, _) => Ok(()),
+            (false, _, true) => Ok(()),
+            _ => Err(format!(
+                "oracle says solvable={solvable} but outcomes are {:?}",
+                report.outcomes
+            )),
+        }
+    }
+}
+
+/// Systematically explore ELECT schedules on `bc` under `run_cfg`'s
+/// seed, checking [`elect_oracle_property`]. Trace recording is forced
+/// on so a counterexample (if any) carries its schedule.
+pub fn explore_elect(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    explore_cfg: &ExploreConfig,
+) -> ExploreReport {
+    explore_elect_with_fault(bc, run_cfg, explore_cfg, ElectFault::default())
+}
+
+/// [`explore_elect`] with an injected fault — the harness's self-test:
+/// a broken gcd check must surface as a counterexample that shrinks and
+/// replays (test-only; see [`ElectFault`]).
+pub fn explore_elect_with_fault(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    explore_cfg: &ExploreConfig,
+    fault: ElectFault,
+) -> ExploreReport {
+    let run_cfg = RunConfig { record_trace: true, ..run_cfg };
+    explore_schedules(
+        explore_cfg,
+        |scheduler| run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), scheduler),
+        elect_oracle_property(bc),
+    )
+}
+
+/// Replay an (edited) ELECT schedule leniently and report whether the
+/// oracle property still fails — the predicate
+/// [`shrink_schedule`](qelect_agentsim::explore::shrink_schedule) needs.
+pub fn elect_schedule_fails(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    fault: ElectFault,
+    schedule: &[usize],
+) -> bool {
+    let run_cfg = RunConfig { record_trace: false, ..run_cfg };
+    let mut scheduler = ReplayScheduler::new(schedule.to_vec());
+    let report = run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), &mut scheduler);
+    elect_oracle_property(bc)(&report).is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qelect_agentsim::AgentOutcome;
+    use qelect_graph::families;
+
+    fn c6_breaker() -> Bicolored {
+        Bicolored::new(families::cycle(6).unwrap(), &[0, 2, 3]).unwrap()
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_for_bit() {
+        let bc = c6_breaker();
+        let cfg = RunConfig { seed: 13, ..RunConfig::default() };
+        let (original, trace) = run_elect_recorded(&bc, cfg, "c6 breaker");
+        assert!(original.clean_election());
+        assert!(!trace.schedule.is_empty());
+        assert!(!trace.events.is_empty(), "events recorded alongside the schedule");
+
+        let replayed = replay_elect(&bc, &trace, true);
+        assert_eq!(replayed.outcomes, original.outcomes);
+        assert_eq!(replayed.leader, original.leader);
+        assert_eq!(replayed.metrics.per_agent, original.metrics.per_agent);
+        assert_eq!(replayed.trace, trace.schedule, "the replay re-records the same schedule");
+        assert_eq!(replayed.events, trace.events, "and the same event log");
+    }
+
+    #[test]
+    fn trace_survives_json_roundtrip_and_still_replays() {
+        let bc = c6_breaker();
+        let cfg = RunConfig { seed: 99, ..RunConfig::default() };
+        let (original, trace) = run_elect_recorded(&bc, cfg, "roundtrip");
+        let trace = Trace::from_json(&trace.to_json()).unwrap();
+        let replayed = replay_elect(&bc, &trace, true);
+        assert_eq!(replayed.outcomes, original.outcomes);
+    }
+
+    #[test]
+    fn cayley_variant_records_too() {
+        let bc = Bicolored::new(families::cycle(7).unwrap(), &[0, 1, 3]).unwrap();
+        let cfg = RunConfig { seed: 3, ..RunConfig::default() };
+        let (report, trace) = run_translation_elect_recorded(&bc, cfg, "c7 cayley");
+        assert_eq!(trace.schedule.len() as u64, report.metrics.steps);
+    }
+
+    #[test]
+    fn oracle_property_accepts_and_rejects() {
+        let bc = c6_breaker();
+        let cfg = RunConfig { seed: 4, ..RunConfig::default() };
+        let report = crate::elect::run_elect(&bc, cfg);
+        assert!(elect_oracle_property(&bc)(&report).is_ok());
+
+        // A doctored report claiming two leaders must be rejected.
+        let mut bad = report.clone();
+        bad.outcomes = vec![AgentOutcome::Leader, AgentOutcome::Leader, AgentOutcome::Defeated];
+        assert!(elect_oracle_property(&bc)(&bad).is_err());
+    }
+}

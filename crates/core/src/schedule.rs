@@ -141,12 +141,11 @@ impl Schedule {
         let k = class_sizes.len();
         let mut number = 0;
         // Stage agent-agent over C_2..C_ℓ.
-        for i in 1..ell {
+        for (i, &c) in class_sizes.iter().enumerate().take(ell).skip(1) {
             if d == 1 {
                 break;
             }
             number += 1;
-            let c = class_sizes[i];
             phases.push(Phase {
                 number,
                 class_index: i,
@@ -157,12 +156,11 @@ impl Schedule {
             d = gcd(d, c);
         }
         // Stage agent-node over C_{ℓ+1}..C_k.
-        for i in ell..k {
+        for (i, &c) in class_sizes.iter().enumerate().take(k).skip(ell) {
             if d == 1 {
                 break;
             }
             number += 1;
-            let c = class_sizes[i];
             phases.push(Phase {
                 number,
                 class_index: i,

@@ -66,14 +66,14 @@ impl Dsu {
         let n = self.parent.len();
         let mut label = vec![u32::MAX; n];
         let mut next = 0u32;
-        let mut out = vec![0u32; n];
+        let mut out = Vec::with_capacity(n);
         for v in 0..n {
             let r = self.find(v);
             if label[r] == u32::MAX {
                 label[r] = next;
                 next += 1;
             }
-            out[v] = label[r];
+            out.push(label[r]);
         }
         out
     }
@@ -229,8 +229,8 @@ impl<'d> Search<'d> {
         let mut dsu = Dsu::new(n);
         for g in &self.generators {
             if prefix.iter().all(|&v| g[v] == v) {
-                for v in 0..n {
-                    dsu.union(v, g[v]);
+                for (v, &gv) in g.iter().enumerate() {
+                    dsu.union(v, gv);
                 }
             }
         }
@@ -298,8 +298,8 @@ pub fn canonicalize_with_cap(d: &ColoredDigraph, leaf_cap: usize) -> CanonResult
     let (word, labeling) = search.best.expect("at least one leaf");
     let mut dsu = Dsu::new(d.n());
     for g in &search.generators {
-        for v in 0..d.n() {
-            dsu.union(v, g[v]);
+        for (v, &gv) in g.iter().enumerate() {
+            dsu.union(v, gv);
         }
     }
     let orbits = dsu.labels();
@@ -343,7 +343,7 @@ pub fn brute_force_automorphisms(d: &ColoredDigraph) -> Vec<Vec<usize>> {
         }
         for i in 0..k {
             heaps(k - 1, perm, d, out);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(i, k - 1);
             } else {
                 perm.swap(0, k - 1);
@@ -382,7 +382,7 @@ pub fn brute_force_canonical_form(d: &ColoredDigraph) -> CanonicalForm {
         }
         for i in 0..k {
             heaps(k - 1, perm, d, best);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 perm.swap(i, k - 1);
             } else {
                 perm.swap(0, k - 1);

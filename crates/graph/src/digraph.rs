@@ -125,8 +125,8 @@ impl ColoredDigraph {
             }
             seen[img] = true;
         }
-        for v in 0..self.n {
-            if self.node_colors[v] != self.node_colors[perm[v]] {
+        for (v, &pv) in perm.iter().enumerate() {
+            if self.node_colors[v] != self.node_colors[pv] {
                 return false;
             }
         }

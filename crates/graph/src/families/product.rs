@@ -64,8 +64,8 @@ pub fn torus(dims: &[usize]) -> Result<Graph, GraphError> {
     };
 
     for v in 0..n {
-        for i in 0..dims.len() {
-            let up = with_coord(v, i, (coord(v, i) + 1) % dims[i]);
+        for (i, &dim) in dims.iter().enumerate() {
+            let up = with_coord(v, i, (coord(v, i) + 1) % dim);
             // Add each +e_i edge once (from every node): the edge {v, up}
             // appears exactly once when iterating v over all nodes because
             // up != v and we add it only from the + side.

@@ -83,8 +83,8 @@ proptest! {
     fn orbits_are_fixed_by_generators(d in digraph()) {
         let result = canonicalize(&d);
         for g in &result.generators {
-            for v in 0..d.n() {
-                prop_assert_eq!(result.orbits[v], result.orbits[g[v]]);
+            for (v, &gv) in g.iter().enumerate() {
+                prop_assert_eq!(result.orbits[v], result.orbits[gv]);
             }
         }
     }

@@ -48,7 +48,7 @@ impl QuaternionGroup {
         // Represent each element as (sign, axis) with axis 0 = scalar,
         // 1 = i, 2 = j, 3 = k.
         let dec = |e: usize| -> (i8, usize) {
-            let sign = if e % 2 == 0 { 1 } else { -1 };
+            let sign = if e.is_multiple_of(2) { 1 } else { -1 };
             (sign, e / 2)
         };
         let enc = |sign: i8, axis: usize| -> u32 {
@@ -71,12 +71,12 @@ impl QuaternionGroup {
             }
         };
         let mut table = vec![vec![0u32; 8]; 8];
-        for a in 0..8 {
-            for b in 0..8 {
+        for (a, row) in table.iter_mut().enumerate() {
+            for (b, cell) in row.iter_mut().enumerate() {
                 let (sa, xa) = dec(a);
                 let (sb, xb) = dec(b);
                 let (sp, xp) = mul_axis(xa, xb);
-                table[a][b] = enc(sa * sb * sp, xp);
+                *cell = enc(sa * sb * sp, xp);
             }
         }
         TableGroup::new(table, "Q8".into())
@@ -109,13 +109,11 @@ mod tests {
         let z2cube = DirectProductGroup::new(vec![2, 2, 2]).unwrap();
         let d4 = DihedralGroup(4);
         let q8 = QuaternionGroup::table().unwrap();
-        let profiles = vec![
-            order_profile(&z8),
+        let profiles = [order_profile(&z8),
             order_profile(&z4z2),
             order_profile(&z2cube),
             order_profile(&d4),
-            order_profile(&q8),
-        ];
+            order_profile(&q8)];
         for i in 0..profiles.len() {
             for j in (i + 1)..profiles.len() {
                 assert_ne!(profiles[i], profiles[j], "{i} vs {j}");

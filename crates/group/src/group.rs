@@ -138,8 +138,8 @@ impl TableGroup {
             }
         }
         // Identity.
-        for a in 0..n {
-            if table[0][a] as usize != a || table[a][0] as usize != a {
+        for (a, row) in table.iter().enumerate() {
+            if table[0][a] as usize != a || row[0] as usize != a {
                 return Err(GroupError::BadIdentity);
             }
         }

@@ -107,7 +107,7 @@ pub fn marking_schedule(cg: &CayleyGraph, homebases: &[usize]) -> MarkingTrace {
             .collect();
         // gcd preservation: gcd(|C|, |Cs|, |C'\Cs|) = gcd(|C|, |C'|).
         let before = gcd(c.len(), cprime.len());
-        let after = gcd(gcd(c.len(), cs.len()), remainder.len().max(0));
+        let after = gcd(gcd(c.len(), cs.len()), remainder.len());
         assert_eq!(before, after, "Euclid step preserves the gcd");
 
         steps.push(MarkingStep {

@@ -371,7 +371,7 @@ mod tests {
         // C6 has two regular subgroups: Z6 and S3? No — regular subgroups
         // of D6 on 6 points: Z6 (rotations) and the dihedral D3 (order 6)
         // acting regularly. Both appear.
-        assert!(rec.subgroups.len() >= 1);
+        assert!(!rec.subgroups.is_empty());
         for r in &rec.subgroups {
             // Every non-identity element is fixed-point-free.
             for v in 1..6 {

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_canon-ac70dcecf51614fd.d: crates/bench/benches/bench_canon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_canon-ac70dcecf51614fd.rmeta: crates/bench/benches/bench_canon.rs Cargo.toml
+
+crates/bench/benches/bench_canon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

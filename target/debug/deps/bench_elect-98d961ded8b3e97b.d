@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_elect-98d961ded8b3e97b.d: crates/bench/benches/bench_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_elect-98d961ded8b3e97b.rmeta: crates/bench/benches/bench_elect.rs Cargo.toml
+
+crates/bench/benches/bench_elect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_explore-b741844380a7977e.d: crates/bench/benches/bench_explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_explore-b741844380a7977e.rmeta: crates/bench/benches/bench_explore.rs Cargo.toml
+
+crates/bench/benches/bench_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_runtime-4c42f630f85e3379.d: crates/bench/benches/bench_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_runtime-4c42f630f85e3379.rmeta: crates/bench/benches/bench_runtime.rs Cargo.toml
+
+crates/bench/benches/bench_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

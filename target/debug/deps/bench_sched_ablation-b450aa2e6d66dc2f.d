@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sched_ablation-b450aa2e6d66dc2f.d: crates/bench/benches/bench_sched_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sched_ablation-b450aa2e6d66dc2f.rmeta: crates/bench/benches/bench_sched_ablation.rs Cargo.toml
+
+crates/bench/benches/bench_sched_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

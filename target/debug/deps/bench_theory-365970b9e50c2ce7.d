@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_theory-365970b9e50c2ce7.d: crates/bench/benches/bench_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_theory-365970b9e50c2ce7.rmeta: crates/bench/benches/bench_theory.rs Cargo.toml
+
+crates/bench/benches/bench_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_views-019fea5df3510d8d.d: crates/bench/benches/bench_views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_views-019fea5df3510d8d.rmeta: crates/bench/benches/bench_views.rs Cargo.toml
+
+crates/bench/benches/bench_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

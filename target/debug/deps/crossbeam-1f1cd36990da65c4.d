@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-1f1cd36990da65c4.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-1f1cd36990da65c4: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-2aecefac5359e8d5.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2aecefac5359e8d5.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2aecefac5359e8d5.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

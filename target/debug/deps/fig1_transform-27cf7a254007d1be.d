@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_transform-27cf7a254007d1be.d: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_transform-27cf7a254007d1be.rmeta: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+crates/bench/src/bin/fig1_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

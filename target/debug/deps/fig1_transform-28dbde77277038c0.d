@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_transform-28dbde77277038c0.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/debug/deps/fig1_transform-28dbde77277038c0: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-e1962d2fe992de76.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-e1962d2fe992de76: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_petersen-604bd26f5cb2c419.d: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_petersen-604bd26f5cb2c419.rmeta: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+crates/bench/src/bin/fig5_petersen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

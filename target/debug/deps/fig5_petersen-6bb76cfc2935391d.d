@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_petersen-6bb76cfc2935391d.d: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_petersen-6bb76cfc2935391d.rmeta: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+crates/bench/src/bin/fig5_petersen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_petersen-a3e7f0f090233ef3.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/debug/deps/fig5_petersen-a3e7f0f090233ef3: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_effectual-1556f0b2de522b13.d: crates/core/../../tests/integration_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_effectual-1556f0b2de522b13.rmeta: crates/core/../../tests/integration_effectual.rs Cargo.toml
+
+crates/core/../../tests/integration_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_effectual-e4eaa002b1b2f93c.d: crates/core/../../tests/integration_effectual.rs
+
+/root/repo/target/debug/deps/integration_effectual-e4eaa002b1b2f93c: crates/core/../../tests/integration_effectual.rs
+
+crates/core/../../tests/integration_effectual.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/integration_elect-5fa0ccaa93d58bff.d: crates/core/../../tests/integration_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_elect-5fa0ccaa93d58bff.rmeta: crates/core/../../tests/integration_elect.rs Cargo.toml
+
+crates/core/../../tests/integration_elect.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

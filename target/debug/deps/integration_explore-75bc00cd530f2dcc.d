@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_explore-75bc00cd530f2dcc.d: crates/core/../../tests/integration_explore.rs
+
+/root/repo/target/debug/deps/integration_explore-75bc00cd530f2dcc: crates/core/../../tests/integration_explore.rs
+
+crates/core/../../tests/integration_explore.rs:

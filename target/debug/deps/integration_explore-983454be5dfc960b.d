@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_explore-983454be5dfc960b.d: crates/core/../../tests/integration_explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_explore-983454be5dfc960b.rmeta: crates/core/../../tests/integration_explore.rs Cargo.toml
+
+crates/core/../../tests/integration_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

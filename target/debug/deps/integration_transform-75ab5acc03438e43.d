@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_transform-75ab5acc03438e43.d: crates/core/../../tests/integration_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_transform-75ab5acc03438e43.rmeta: crates/core/../../tests/integration_transform.rs Cargo.toml
+
+crates/core/../../tests/integration_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

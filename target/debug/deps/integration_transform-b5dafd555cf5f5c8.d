@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_transform-b5dafd555cf5f5c8.d: crates/core/../../tests/integration_transform.rs
+
+/root/repo/target/debug/deps/integration_transform-b5dafd555cf5f5c8: crates/core/../../tests/integration_transform.rs
+
+crates/core/../../tests/integration_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7ed81f4591bc48fc.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7ed81f4591bc48fc: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-871023b5b251ea66.d: crates/group/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-871023b5b251ea66.rmeta: crates/group/tests/properties.rs Cargo.toml
+
+crates/group/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

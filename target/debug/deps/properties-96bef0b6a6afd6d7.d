@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-96bef0b6a6afd6d7.d: crates/group/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-96bef0b6a6afd6d7: crates/group/tests/properties.rs
+
+crates/group/tests/properties.rs:

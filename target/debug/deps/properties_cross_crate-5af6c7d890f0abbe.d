@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_cross_crate-5af6c7d890f0abbe.d: crates/core/../../tests/properties_cross_crate.rs
+
+/root/repo/target/debug/deps/properties_cross_crate-5af6c7d890f0abbe: crates/core/../../tests/properties_cross_crate.rs
+
+crates/core/../../tests/properties_cross_crate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_cross_crate-cc7f5aac1d63d23f.d: crates/core/../../tests/properties_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_cross_crate-cc7f5aac1d63d23f.rmeta: crates/core/../../tests/properties_cross_crate.rs Cargo.toml
+
+crates/core/../../tests/properties_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a6370ea0b14a47da.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a6370ea0b14a47da: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

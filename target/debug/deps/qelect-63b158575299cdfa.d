@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/qelect-63b158575299cdfa.d: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect-63b158575299cdfa.rmeta: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/anonymous.rs:
+crates/core/src/elect.rs:
+crates/core/src/gathering.rs:
+crates/core/src/map.rs:
+crates/core/src/mapdraw.rs:
+crates/core/src/petersen.rs:
+crates/core/src/quantitative.rs:
+crates/core/src/reduce.rs:
+crates/core/src/replay.rs:
+crates/core/src/schedule.rs:
+crates/core/src/solvability.rs:
+crates/core/src/stepquant.rs:
+crates/core/src/translation_elect.rs:
+crates/core/src/view_elect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/qelect_bench-8d08cde231572f4c.d: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_bench-8d08cde231572f4c.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

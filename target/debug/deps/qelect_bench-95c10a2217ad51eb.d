@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/qelect_bench-95c10a2217ad51eb.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libqelect_bench-95c10a2217ad51eb.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libqelect_bench-95c10a2217ad51eb.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/qelect_bench-ddb8d7ef75079747.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/qelect_bench-ddb8d7ef75079747: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,28 @@
+/root/repo/target/debug/deps/qelect_graph-53816b4012920aac.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_graph-53816b4012920aac.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/bicolored.rs:
+crates/graph/src/canon.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/error.rs:
+crates/graph/src/families/mod.rs:
+crates/graph/src/families/basic.rs:
+crates/graph/src/families/network.rs:
+crates/graph/src/families/product.rs:
+crates/graph/src/families/random.rs:
+crates/graph/src/families/special.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/labeling.rs:
+crates/graph/src/refine.rs:
+crates/graph/src/surrounding.rs:
+crates/graph/src/symmetricity.rs:
+crates/graph/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qelectctl-190dc7cbe21a4fcc.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/debug/deps/qelectctl-190dc7cbe21a4fcc: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qelectctl-73f40c81eab31b3c.d: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelectctl-73f40c81eab31b3c.rmeta: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+crates/bench/src/bin/qelectctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qelectctl-7a4a4c74c98693c0.d: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelectctl-7a4a4c74c98693c0.rmeta: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+crates/bench/src/bin/qelectctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_random-39ddb6ccedb6adef.d: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_random-39ddb6ccedb6adef.rmeta: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+crates/bench/src/bin/sweep_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

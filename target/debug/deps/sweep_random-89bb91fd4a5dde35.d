@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_random-89bb91fd4a5dde35.d: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_random-89bb91fd4a5dde35.rmeta: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+crates/bench/src/bin/sweep_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_random-b724d3926f35ddf8.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/debug/deps/sweep_random-b724d3926f35ddf8: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

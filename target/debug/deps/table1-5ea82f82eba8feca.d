@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-5ea82f82eba8feca.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-5ea82f82eba8feca: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

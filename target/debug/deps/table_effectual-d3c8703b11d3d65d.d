@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_effectual-d3c8703b11d3d65d.d: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_effectual-d3c8703b11d3d65d.rmeta: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+crates/bench/src/bin/table_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

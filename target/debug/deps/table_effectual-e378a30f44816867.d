@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_effectual-e378a30f44816867.d: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_effectual-e378a30f44816867.rmeta: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+crates/bench/src/bin/table_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_effectual-f7eea4d064452186.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/debug/deps/table_effectual-f7eea4d064452186: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_moves-7ce8c530b29fbbb5.d: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_moves-7ce8c530b29fbbb5.rmeta: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+crates/bench/src/bin/table_moves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_moves-b6524b6915289130.d: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_moves-b6524b6915289130.rmeta: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+crates/bench/src/bin/table_moves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

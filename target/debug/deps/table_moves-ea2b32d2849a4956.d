@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_moves-ea2b32d2849a4956.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/debug/deps/table_moves-ea2b32d2849a4956: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:

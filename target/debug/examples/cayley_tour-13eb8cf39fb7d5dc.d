@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cayley_tour-13eb8cf39fb7d5dc.d: crates/core/../../examples/cayley_tour.rs
+
+/root/repo/target/debug/examples/cayley_tour-13eb8cf39fb7d5dc: crates/core/../../examples/cayley_tour.rs
+
+crates/core/../../examples/cayley_tour.rs:

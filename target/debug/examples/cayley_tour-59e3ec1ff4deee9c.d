@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cayley_tour-59e3ec1ff4deee9c.d: crates/core/../../examples/cayley_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcayley_tour-59e3ec1ff4deee9c.rmeta: crates/core/../../examples/cayley_tour.rs Cargo.toml
+
+crates/core/../../examples/cayley_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

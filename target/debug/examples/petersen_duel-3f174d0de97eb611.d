@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/petersen_duel-3f174d0de97eb611.d: crates/core/../../examples/petersen_duel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpetersen_duel-3f174d0de97eb611.rmeta: crates/core/../../examples/petersen_duel.rs Cargo.toml
+
+crates/core/../../examples/petersen_duel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

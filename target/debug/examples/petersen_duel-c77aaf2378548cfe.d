@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/petersen_duel-c77aaf2378548cfe.d: crates/core/../../examples/petersen_duel.rs
+
+/root/repo/target/debug/examples/petersen_duel-c77aaf2378548cfe: crates/core/../../examples/petersen_duel.rs
+
+crates/core/../../examples/petersen_duel.rs:

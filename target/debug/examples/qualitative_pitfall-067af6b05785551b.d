@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qualitative_pitfall-067af6b05785551b.d: crates/core/../../examples/qualitative_pitfall.rs
+
+/root/repo/target/debug/examples/qualitative_pitfall-067af6b05785551b: crates/core/../../examples/qualitative_pitfall.rs
+
+crates/core/../../examples/qualitative_pitfall.rs:

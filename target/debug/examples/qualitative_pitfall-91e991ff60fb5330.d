@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qualitative_pitfall-91e991ff60fb5330.d: crates/core/../../examples/qualitative_pitfall.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqualitative_pitfall-91e991ff60fb5330.rmeta: crates/core/../../examples/qualitative_pitfall.rs Cargo.toml
+
+crates/core/../../examples/qualitative_pitfall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

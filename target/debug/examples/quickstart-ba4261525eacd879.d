@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ba4261525eacd879.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ba4261525eacd879: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

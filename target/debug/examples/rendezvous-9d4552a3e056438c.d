@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rendezvous-9d4552a3e056438c.d: crates/core/../../examples/rendezvous.rs Cargo.toml
+
+/root/repo/target/debug/examples/librendezvous-9d4552a3e056438c.rmeta: crates/core/../../examples/rendezvous.rs Cargo.toml
+
+crates/core/../../examples/rendezvous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

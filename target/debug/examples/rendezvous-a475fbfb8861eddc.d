@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rendezvous-a475fbfb8861eddc.d: crates/core/../../examples/rendezvous.rs
+
+/root/repo/target/debug/examples/rendezvous-a475fbfb8861eddc: crates/core/../../examples/rendezvous.rs
+
+crates/core/../../examples/rendezvous.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-b0b6b814028bc372.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b0b6b814028bc372.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-b0b6b814028bc372.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

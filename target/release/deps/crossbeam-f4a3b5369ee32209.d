@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-f4a3b5369ee32209.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f4a3b5369ee32209.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-f4a3b5369ee32209.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_transform-e7c109cd9b2f6bd4.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/release/deps/fig1_transform-e7c109cd9b2f6bd4: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

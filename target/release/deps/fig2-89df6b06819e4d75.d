@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-89df6b06819e4d75.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-89df6b06819e4d75: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

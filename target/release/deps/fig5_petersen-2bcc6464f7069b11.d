@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_petersen-2bcc6464f7069b11.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/release/deps/fig5_petersen-2bcc6464f7069b11: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

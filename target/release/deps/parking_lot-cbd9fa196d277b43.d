@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-cbd9fa196d277b43.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-cbd9fa196d277b43.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-cbd9fa196d277b43.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

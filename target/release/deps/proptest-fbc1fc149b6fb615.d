@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-fbc1fc149b6fb615.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fbc1fc149b6fb615.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-fbc1fc149b6fb615.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

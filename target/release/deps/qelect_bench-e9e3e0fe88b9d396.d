@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/qelect_bench-e9e3e0fe88b9d396.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libqelect_bench-e9e3e0fe88b9d396.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libqelect_bench-e9e3e0fe88b9d396.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qelectctl-ea1aef637342b325.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/release/deps/qelectctl-ea1aef637342b325: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-bd2e6ef3be7d49d9.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-bd2e6ef3be7d49d9.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-bd2e6ef3be7d49d9.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_random-6ad2d3b3a09dcf61.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/release/deps/sweep_random-6ad2d3b3a09dcf61: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-df998907af54d06c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-df998907af54d06c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

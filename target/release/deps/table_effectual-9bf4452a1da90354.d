@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_effectual-9bf4452a1da90354.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/release/deps/table_effectual-9bf4452a1da90354: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_moves-5d2521e19cc15a6f.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/release/deps/table_moves-5d2521e19cc15a6f: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:

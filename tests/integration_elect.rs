@@ -143,7 +143,7 @@ fn elect_runs_on_the_parallel_engine() {
     ] {
         let expected = elect_succeeds(&bc);
         let agents: Vec<FreeAgent> = (0..bc.r())
-            .map(|_| -> FreeAgent { Box::new(|ctx| qelect::elect::elect(ctx)) })
+            .map(|_| -> FreeAgent { Box::new(qelect::elect::elect) })
             .collect();
         let report = run_free(&bc, FreeRunConfig::default(), agents);
         assert_eq!(
@@ -224,6 +224,32 @@ fn gathering_inherits_election_verdicts() {
             report.interrupted
         );
     }
+}
+
+#[test]
+fn committed_c6_trace_replays_to_exactly_two_leaders() {
+    // The §1.3 impossibility witness is a checked-in artifact: the
+    // lockstep schedule under which both anonymous ring probers on C6
+    // elect themselves. Strict replay must reproduce the double
+    // election bit-for-bit — schedule, events, and verdict.
+    use qelect_agentsim::AgentOutcome;
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/traces/c6_two_leaders.json");
+    let trace = Trace::load(path).expect("committed trace parses");
+    assert_eq!(trace.agents, 2);
+    assert_eq!(trace.nodes, 6);
+    assert_eq!(trace.policy, "lockstep");
+
+    let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
+    let report = qelect::replay::replay_ring_probe(&bc, &trace, true);
+    let leaders = report
+        .outcomes
+        .iter()
+        .filter(|o| **o == AgentOutcome::Leader)
+        .count();
+    assert_eq!(leaders, 2, "the committed witness must double-elect: {:?}", report.outcomes);
+    assert!(!report.clean_election());
+    assert_eq!(report.trace, trace.schedule, "replay re-records the committed schedule");
+    assert_eq!(report.events, trace.events, "and the committed event log");
 }
 
 #[test]

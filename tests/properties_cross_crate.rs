@@ -132,3 +132,59 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // The schedule-adversary matrix: ELECT's verdict is a property of
+    // the *instance* (Theorem 3.1), so it must not depend on which
+    // adversary drives the interleaving. Each random instance is run
+    // under the deterministic policies, several random schedules, and a
+    // small bounded exploration — all must agree with the gcd oracle.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn elect_verdict_survives_every_scheduling_adversary(
+        bc in instance_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use qelect_agentsim::sched::Policy;
+        let expected = elect_succeeds(&bc);
+
+        for policy in [Policy::Lockstep, Policy::RoundRobin, Policy::GreedyLowest] {
+            let report = run_elect(&bc, RunConfig { seed, policy, ..RunConfig::default() });
+            prop_assert!(report.interrupted.is_none(), "{policy:?} interrupted");
+            prop_assert_eq!(
+                report.clean_election(), expected,
+                "{:?} disagrees with the oracle: {:?}", policy, report.outcomes
+            );
+            if !expected {
+                prop_assert!(report.unanimous_unsolvable(), "{:?}: {:?}", policy, report.outcomes);
+            }
+        }
+
+        for k in 0..3u64 {
+            let cfg = RunConfig {
+                seed: seed ^ (k.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                policy: Policy::Random,
+                ..RunConfig::default()
+            };
+            let report = run_elect(&bc, cfg);
+            prop_assert_eq!(
+                report.clean_election(), expected,
+                "random schedule #{} disagrees: {:?}", k, report.outcomes
+            );
+        }
+
+        let ecfg = ExploreConfig {
+            preemption_bound: 1,
+            max_schedules: 12,
+            swarm_runs: 4,
+            swarm_seed: seed,
+        };
+        let report = explore_elect(&bc, RunConfig { seed, ..RunConfig::default() }, &ecfg);
+        prop_assert!(
+            report.counterexample.is_none(),
+            "exploration found a schedule disagreeing with the oracle: {:?}",
+            report.counterexample.map(|ce| ce.violation)
+        );
+    }
+}
