@@ -220,6 +220,7 @@ pub type FreeAgent = Box<dyn FnOnce(&mut FreeCtx) -> Result<AgentOutcome, Interr
 /// Execute a protocol with genuine parallelism. See [`crate::gated::run_gated`]
 /// for the placement/color conventions (identical).
 pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
+    let cache_before = qelect_graph::cache::global().stats();
     let r = agents.len();
     assert_eq!(r, bc.r(), "one agent program per home-base");
     let mut registry = ColorRegistry::new(cfg.seed);
@@ -302,6 +303,7 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         checkpoints: shared.checkpoints.lock().clone(),
         steps: shared.ops.load(Ordering::Relaxed),
         preemptions: 0,
+        canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
     };
     RunReport {
         outcomes,

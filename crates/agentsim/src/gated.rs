@@ -164,6 +164,25 @@ enum Grant {
     Abort(Interrupt),
 }
 
+/// Receive with a bounded yield-spin before parking.
+///
+/// Every scheduler grant is a pair of cross-thread handoffs
+/// (agent → scheduler → agent) whose counterpart is almost always
+/// already runnable, so the futex sleep/wake of a parked `recv` is pure
+/// latency — the dominant per-step cost of the engine on oversubscribed
+/// or single-core hosts. A few `yield_now` attempts hand the core
+/// straight to the counterpart instead; the blocking `recv` remains the
+/// fallback, so agents that stay ungranted for long still park.
+fn recv_spin<T>(rx: &Receiver<T>) -> Result<T, crossbeam::channel::RecvError> {
+    for _ in 0..64 {
+        match rx.try_recv() {
+            Ok(v) => return Ok(v),
+            Err(_) => std::thread::yield_now(),
+        }
+    }
+    rx.recv()
+}
+
 /// The concrete [`MobileCtx`] of the gated engine.
 pub struct GatedCtx {
     shared: Arc<Shared>,
@@ -181,7 +200,7 @@ impl GatedCtx {
         self.req_tx
             .send(Msg::Op { agent: self.id })
             .map_err(|_| Interrupt::Cancelled)?;
-        match self.grant_rx.recv() {
+        match recv_spin(&self.grant_rx) {
             Ok(Grant::Go(tick)) => Ok(tick),
             Ok(Grant::Abort(i)) => Err(i),
             Err(_) => Err(Interrupt::Cancelled),
@@ -283,7 +302,7 @@ impl MobileCtx for GatedCtx {
             self.req_tx
                 .send(Msg::Wait { agent: self.id, node: self.node, seen })
                 .map_err(|_| Interrupt::Cancelled)?;
-            match self.grant_rx.recv() {
+            match recv_spin(&self.grant_rx) {
                 Ok(Grant::Go(tick)) => {
                     self.count_access();
                     let board = self.shared.boards[self.node].lock();
@@ -386,6 +405,7 @@ pub fn run_gated_with(
     agents: Vec<GatedAgent>,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
+    let cache_before = qelect_graph::cache::global().stats();
     let r = agents.len();
     assert_eq!(
         r,
@@ -469,7 +489,7 @@ pub fn run_gated_with(
         while live > 0 {
             // Ensure every live agent is parked (or done).
             while st.contains(&St::Running) {
-                let msg = req_rx.recv().expect("agents alive");
+                let msg = recv_spin(&req_rx).expect("agents alive");
                 apply(msg, &mut st, &mut outcomes, &mut live);
             }
             if live == 0 {
@@ -536,7 +556,7 @@ pub fn run_gated_with(
                 .expect("granted agent is alive");
             // Block until the granted agent parks again or finishes —
             // everyone else is already parked, so the next message is its.
-            let msg = req_rx.recv().expect("granted agent will report");
+            let msg = recv_spin(&req_rx).expect("granted agent will report");
             apply(msg, &mut st, &mut outcomes, &mut live);
         }
 
@@ -564,6 +584,7 @@ pub fn run_gated_with(
         checkpoints: shared.checkpoints.lock().clone(),
         steps,
         preemptions,
+        canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
     };
 
     let events = std::mem::take(&mut *shared.events.lock());

@@ -4,6 +4,7 @@
 //! accesses**; the experiment suite measures both. Counters are atomics
 //! so the free-running engine can update them concurrently.
 
+use qelect_graph::cache::CacheStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-agent counters.
@@ -89,6 +90,12 @@ pub struct Metrics {
     /// away from an agent that was still ready (gated engine only; the
     /// quantity Chess-style exploration bounds).
     pub preemptions: u64,
+    /// Canonical-form cache activity observed over this run: the delta
+    /// of the process-global `qelect_graph::cache` counters between run
+    /// start and end. `None` for engines that do not plumb it.
+    /// Counters are process-global, so concurrent runs (e.g. parallel
+    /// sweep workers) each see a superset of their own traffic.
+    pub canon_cache: Option<CacheStats>,
 }
 
 impl Metrics {
@@ -124,6 +131,7 @@ mod tests {
             checkpoints: vec![],
             steps: 42,
             preemptions: 0,
+            canon_cache: None,
         };
         assert_eq!(m.total_moves(), 15);
         assert_eq!(m.total_accesses(), 27);

@@ -8,6 +8,7 @@
 //! cargo run -p qelect-bench --bin qelectctl -- explore cycle:9 --agents 0,1,2,3,4
 //! cargo run -p qelect-bench --bin qelectctl -- explore cycle:6 --agents 0,3 \
 //!     --target anon --emit-trace tests/traces/c6_two_leaders.json
+//! cargo run -p qelect-bench --release --bin qelectctl -- sweep --trials 100 --workers 8
 //! ```
 
 use qelect::anonymous::{ring_probe, ring_probe_counterexample};
@@ -15,7 +16,10 @@ use qelect::prelude::*;
 use qelect_agentsim::explore::shrink_schedule;
 use qelect_agentsim::gated::{run_gated_with, GatedAgent};
 use qelect_agentsim::AgentOutcome;
-use qelect_bench::cli::{parse_command, Command, ExploreInvocation, ExploreTarget, Invocation, Protocol};
+use qelect_bench::cli::{
+    parse_command, Command, ExploreInvocation, ExploreTarget, Invocation, Protocol,
+    SweepInvocation,
+};
 use qelect_graph::Bicolored;
 
 fn main() {
@@ -23,10 +27,31 @@ fn main() {
     match parse_command(&args) {
         Ok(Command::Run(inv)) => run(inv),
         Ok(Command::Explore(inv)) => explore(inv),
+        Ok(Command::Sweep(inv)) => sweep(inv),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+fn sweep(inv: SweepInvocation) {
+    println!(
+        "# Parallel random-instance sweep — ELECT vs gcd oracle \
+         ({} trials/bucket × {} buckets, {} repeats, {} workers, cache {})\n",
+        inv.config.trials,
+        inv.config.buckets.len(),
+        inv.config.repeats,
+        inv.config.workers,
+        if inv.no_cache { "off" } else { "on" },
+    );
+    qelect_graph::cache::global().set_enabled(!inv.no_cache);
+    let report = qelect_bench::sweep::run_sweep(&inv.config);
+    qelect_graph::cache::global().set_enabled(true);
+    print!("{}", report.render());
+    if !report.all_agree() {
+        eprintln!("error: ELECT disagreed with the gcd oracle on some trial");
+        std::process::exit(1);
     }
 }
 

@@ -2,89 +2,34 @@
 //! connected instances (random graphs, random placements, random seeds,
 //! rotating scheduler policies). Prints agreement statistics — the
 //! large-scale companion to the exhaustive small sweeps of E5.
+//!
+//! Now a thin front-end over the parallel engine in
+//! [`qelect_bench::sweep`]: trials fan out across work-stealing worker
+//! threads, canonical forms are memoized process-wide, and the printed
+//! table is bit-identical whatever the worker count.
+//!
+//! ```sh
+//! cargo run -p qelect-bench --release --bin sweep_random -- [trials] [workers]
+//! ```
 
-use qelect::prelude::*;
-use qelect::solvability::elect_succeeds;
-use qelect_agentsim::sched::Policy;
-use qelect_bench::{header, row};
-use qelect_graph::{families, Bicolored};
+use qelect_bench::sweep::{run_sweep, SweepConfig};
 
 fn main() {
     let trials = std::env::args()
         .nth(1)
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(60);
-    println!("# Random-instance sweep — ELECT vs gcd oracle ({trials} trials)\n");
+    let workers = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
     println!(
-        "{}",
-        header(&["bucket", "valid trials", "agree", "solvable", "unsolvable", "avg work/(r·|E|)"])
+        "# Random-instance sweep — ELECT vs gcd oracle ({trials} trials/bucket, \
+         {workers} workers)\n"
     );
-
-    let policies = [
-        Policy::Random,
-        Policy::RoundRobin,
-        Policy::Lockstep,
-        Policy::GreedyLowest,
-    ];
-    let mut total_agree = 0usize;
-    for (bi, (n_lo, n_hi, p)) in [(5usize, 8usize, 0.2f64), (8, 12, 0.3), (12, 16, 0.15)]
-        .into_iter()
-        .enumerate()
-    {
-        let mut agree = 0usize;
-        let mut solvable = 0usize;
-        let mut valid = 0usize;
-        let mut ratio_sum = 0.0f64;
-        for t in 0..trials {
-            let seed = (bi * 1_000 + t) as u64;
-            let n = n_lo + (seed as usize % (n_hi - n_lo));
-            let g = families::random_connected(n, p, seed).unwrap();
-            let r = 1 + (seed as usize % 3.min(n));
-            let homes: Vec<usize> = (0..r).map(|i| (i * 7 + t) % n).collect();
-            let mut dedup = homes.clone();
-            dedup.sort_unstable();
-            dedup.dedup();
-            if dedup.len() != homes.len() {
-                continue; // placement collision: skip this trial
-            }
-            valid += 1;
-            let bc = Bicolored::new(g, &homes).unwrap();
-            let expected = elect_succeeds(&bc);
-            let cfg = RunConfig {
-                seed,
-                policy: policies[t % policies.len()],
-                ..RunConfig::default()
-            };
-            let report = run_elect(&bc, cfg);
-            let got = if report.clean_election() {
-                Some(true)
-            } else if report.unanimous_unsolvable() {
-                Some(false)
-            } else {
-                None
-            };
-            if got == Some(expected) {
-                agree += 1;
-            }
-            if expected {
-                solvable += 1;
-            }
-            ratio_sum += report.metrics.total_work() as f64
-                / (bc.r() * bc.graph().m()) as f64;
-        }
-        total_agree += agree;
-        assert_eq!(agree, valid, "ELECT disagreed with the oracle");
-        println!(
-            "{}",
-            row(&[
-                format!("n∈[{n_lo},{n_hi}) p={p}"),
-                valid.to_string(),
-                agree.to_string(),
-                solvable.to_string(),
-                (valid - solvable).to_string(),
-                format!("{:.1}", ratio_sum / valid as f64),
-            ])
-        );
-    }
-    println!("\ntotal agreement: {total_agree} (must equal total valid trials)");
+    let cfg = SweepConfig { trials, workers, ..SweepConfig::default() };
+    let report = run_sweep(&cfg);
+    print!("{}", report.render());
+    assert!(report.all_agree(), "ELECT disagreed with the gcd oracle");
 }

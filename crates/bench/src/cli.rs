@@ -29,6 +29,22 @@
 //!            --swarm N             randomized fallback runs (default 64)
 //!            --emit-trace PATH     write the witness trace as JSON
 //! ```
+//!
+//! The `sweep` subcommand drives the parallel random-instance sweep
+//! engine (ELECT vs the gcd oracle, work-stealing workers, memoized
+//! canonical forms):
+//!
+//! ```text
+//! qelectctl sweep [options]
+//!
+//! options:   --trials N            trials per bucket (default 60)
+//!            --workers N           worker threads; 0 = all cores (default 0)
+//!            --seed N              base seed (default 0)
+//!            --repeats N           protocol runs per instance (default 2)
+//!            --bucket LO:HI:P      add a size/density bucket (repeatable;
+//!                                  default: the three E5 buckets)
+//!            --no-cache            disable the canonical-form memo cache
+//! ```
 
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Graph};
@@ -103,13 +119,24 @@ pub struct ExploreInvocation {
     pub family_spec: String,
 }
 
-/// Either a single-schedule run or a schedule exploration.
+/// A fully parsed `sweep` invocation.
+#[derive(Debug)]
+pub struct SweepInvocation {
+    /// The sweep configuration (trials, workers, seed, repeats, buckets).
+    pub config: crate::sweep::SweepConfig,
+    /// Run with the canonical-form memo cache disabled.
+    pub no_cache: bool,
+}
+
+/// A single-schedule run, a schedule exploration, or a batch sweep.
 #[derive(Debug)]
 pub enum Command {
     /// `qelectctl <protocol> <family> …`
     Run(Invocation),
     /// `qelectctl explore <family> …`
     Explore(ExploreInvocation),
+    /// `qelectctl sweep …`
+    Sweep(SweepInvocation),
 }
 
 /// Parse errors, with a user-facing message.
@@ -318,11 +345,75 @@ pub fn parse_explore(args: &[String]) -> Result<ExploreInvocation, ParseError> {
     Ok(inv)
 }
 
+/// Parse a `sweep` argv (without the binary name and the `sweep` token
+/// itself). `--workers 0` means "use every available core".
+pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
+    let mut config = crate::sweep::SweepConfig { workers: 0, ..Default::default() };
+    let mut buckets: Vec<crate::sweep::SweepBucket> = Vec::new();
+    let mut no_cache = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--trials needs a value".into()))?;
+                config.trials = parse_usize(v, "trial count")?;
+            }
+            "--workers" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--workers needs a value".into()))?;
+                config.workers = parse_usize(v, "worker count")?;
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                config.seed0 = parse_usize(v, "seed")? as u64;
+            }
+            "--repeats" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--repeats needs a value".into()))?;
+                config.repeats = parse_usize(v, "repeat count")?;
+                if config.repeats == 0 {
+                    return err("--repeats must be at least 1");
+                }
+            }
+            "--bucket" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--bucket needs LO:HI:P".into()))?;
+                let parts: Vec<&str> = v.split(':').collect();
+                let [lo, hi, p] = parts.as_slice() else {
+                    return err(format!("bad bucket '{v}': expected LO:HI:P"));
+                };
+                let bucket = crate::sweep::SweepBucket {
+                    n_lo: parse_usize(lo, "bucket low")?,
+                    n_hi: parse_usize(hi, "bucket high")?,
+                    p: p.parse().map_err(|_| ParseError(format!("bad bucket p '{p}'")))?,
+                };
+                if bucket.n_hi <= bucket.n_lo || bucket.n_lo == 0 {
+                    return err(format!("bad bucket '{v}': need 0 < LO < HI"));
+                }
+                buckets.push(bucket);
+            }
+            "--no-cache" => no_cache = true,
+            other => return err(format!("unknown sweep option '{other}'")),
+        }
+        i += 1;
+    }
+    if !buckets.is_empty() {
+        config.buckets = buckets;
+    }
+    if config.workers == 0 {
+        config.workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    }
+    Ok(SweepInvocation { config, no_cache })
+}
+
 /// Parse a full argv (without the binary name), dispatching between the
-/// single-run and `explore` forms.
+/// single-run, `explore` and `sweep` forms.
 pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
     match args.first().map(String::as_str) {
         Some("explore") => parse_explore(&args[1..]).map(Command::Explore),
+        Some("sweep") => parse_sweep(&args[1..]).map(Command::Sweep),
         _ => parse_args(args).map(Command::Run),
     }
 }
@@ -434,6 +525,47 @@ mod tests {
         let Command::Run(inv) = cmd else { panic!("expected run") };
         assert_eq!(inv.protocol, Protocol::Elect);
         assert_eq!(inv.agents, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn parses_sweep_defaults() {
+        let cmd = parse_command(&argv("sweep")).unwrap();
+        let Command::Sweep(inv) = cmd else { panic!("expected sweep") };
+        assert_eq!(inv.config.trials, 60);
+        assert!(inv.config.workers >= 1, "0 must resolve to the core count");
+        assert_eq!(inv.config.seed0, 0);
+        assert_eq!(inv.config.repeats, 2);
+        assert_eq!(inv.config.buckets, crate::sweep::default_buckets());
+        assert!(!inv.no_cache);
+    }
+
+    #[test]
+    fn parses_sweep_full_options() {
+        let cmd = parse_command(&argv(
+            "sweep --trials 10 --workers 4 --seed 9 --repeats 3 \
+             --bucket 5:8:0.2 --bucket 8:12:0.3 --no-cache",
+        ))
+        .unwrap();
+        let Command::Sweep(inv) = cmd else { panic!("expected sweep") };
+        assert_eq!(inv.config.trials, 10);
+        assert_eq!(inv.config.workers, 4);
+        assert_eq!(inv.config.seed0, 9);
+        assert_eq!(inv.config.repeats, 3);
+        assert_eq!(inv.config.buckets.len(), 2);
+        assert_eq!(inv.config.buckets[0].n_lo, 5);
+        assert_eq!(inv.config.buckets[1].p, 0.3);
+        assert!(inv.no_cache);
+    }
+
+    #[test]
+    fn sweep_rejects_nonsense() {
+        assert!(parse_command(&argv("sweep --frobnicate")).is_err());
+        assert!(parse_command(&argv("sweep --trials")).is_err());
+        assert!(parse_command(&argv("sweep --trials x")).is_err());
+        assert!(parse_command(&argv("sweep --repeats 0")).is_err());
+        assert!(parse_command(&argv("sweep --bucket 8:5:0.2")).is_err());
+        assert!(parse_command(&argv("sweep --bucket 5:8")).is_err());
+        assert!(parse_command(&argv("sweep --bucket 5:8:x")).is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod sweep;
 
 use qelect_graph::{families, Bicolored, Graph};
 

@@ -32,7 +32,7 @@ use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
 use qelect_agentsim::{
     AgentOutcome, Color, Interrupt, MobileCtx, SignKind, Whiteboard,
 };
-use qelect_graph::surrounding::ordered_classes;
+use qelect_graph::cache::ordered_classes_cached;
 use qelect_graph::Bicolored;
 
 /// The `Custom` sign kind used for phase activation.
@@ -57,7 +57,9 @@ pub fn compute_local_view<C: MobileCtx>(ctx: &mut C) -> Result<LocalView, Interr
     let map = map_drawing(ctx)?;
     ctx.checkpoint("map-drawing done");
     let bc = map.to_bicolored();
-    let oc = ordered_classes(&bc);
+    // The memo cache collapses all isomorphic maps (every agent's, plus
+    // the oracle's global view) onto one COMPUTE & ORDER evaluation.
+    let oc = ordered_classes_cached(&bc);
     let classes: Vec<Vec<usize>> = oc.classes.iter().map(|c| c.nodes.clone()).collect();
     let sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
     let schedule = Schedule::from_class_sizes(&sizes, oc.ell);

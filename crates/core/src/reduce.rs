@@ -640,4 +640,41 @@ mod tests {
             assert_eq!(w.len(), round.w, "round {t}");
         }
     }
+
+    /// Edge-case instances end to end: single-class and all-equal-size
+    /// placements, gcd 1 vs gcd > 1 — the reduce phases the agents
+    /// actually run (computed from the *cached* class path) must agree
+    /// with the pure schedule and with the gcd oracle.
+    #[test]
+    fn reduce_edge_case_instances_end_to_end() {
+        use crate::elect::run_elect;
+        use crate::solvability::{elect_succeeds, gcd_of_class_sizes};
+        use qelect_graph::cache::ordered_classes_cached;
+
+        let cases: &[(usize, &[usize], usize)] = &[
+            // (cycle length, home-bases, expected gcd)
+            (4, &[0, 1, 2, 3], 4), // every node black: one class of size 4
+            (5, &[0], 1),          // single agent: singleton class, elects
+            (6, &[0, 2, 4], 3),    // all classes size 3 (blacks, whites)
+            (6, &[0, 3], 2),       // all classes even: antipodal failure
+            (6, &[0, 2, 3], 1),    // gcd 1: a clean election
+        ];
+        for &(n, homes, g) in cases {
+            let bc = Bicolored::new(families::cycle(n).unwrap(), homes).unwrap();
+            assert_eq!(gcd_of_class_sizes(&bc), g, "C{n} {homes:?}");
+
+            // The schedule the agents will derive, via the cached path.
+            let oc = ordered_classes_cached(&bc);
+            let sizes: Vec<usize> = oc.classes.iter().map(|c| c.nodes.len()).collect();
+            let schedule = crate::schedule::Schedule::from_class_sizes(&sizes, oc.ell);
+            assert_eq!(schedule.final_d, g, "C{n} {homes:?}");
+            assert_eq!(schedule.elects(), g == 1);
+
+            let report = run_elect(&bc, RunConfig::default());
+            assert!(report.interrupted.is_none(), "C{n} {homes:?}");
+            assert_eq!(report.clean_election(), g == 1, "C{n} {homes:?}");
+            assert_eq!(report.unanimous_unsolvable(), g != 1, "C{n} {homes:?}");
+            assert_eq!(elect_succeeds(&bc), g == 1);
+        }
+    }
 }

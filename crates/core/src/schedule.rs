@@ -278,4 +278,74 @@ mod tests {
         let s = Schedule::from_class_sizes(&[2, 3, 4], 2);
         assert_eq!(s.r(), 5);
     }
+
+    /// Running gcd over the whole vector: the schedule elects exactly on
+    /// gcd-1 vectors and otherwise stops at the overall gcd, whatever
+    /// the mix of AGENT-REDUCE and NODE-REDUCE phases.
+    #[test]
+    fn gcd_one_vs_gcd_many_vectors() {
+        let cases: &[(&[usize], usize)] = &[
+            (&[2, 3], 1),         // ℓ=1: one agent-node phase reaches 1
+            (&[4, 9, 6], 1),      // reaches 1 mid-schedule, stops early
+            (&[3, 5, 7], 1),
+            (&[2, 4], 2),         // C6 antipodal shape
+            (&[4, 6, 8], 2),
+            (&[6, 9, 12], 3),
+            (&[4, 8, 12], 4),
+        ];
+        for &(sizes, g) in cases {
+            for ell in 1..=sizes.len().min(2) {
+                let s = Schedule::from_class_sizes(sizes, ell);
+                assert_eq!(s.final_d, g, "{sizes:?} ell={ell}");
+                assert_eq!(s.elects(), g == 1, "{sizes:?} ell={ell}");
+            }
+        }
+    }
+
+    /// A single (black) class: no reduce phase can run, so `|D|` stays
+    /// the class size — election iff the lone class is a singleton.
+    #[test]
+    fn single_class_vectors() {
+        for r in 1..=5 {
+            let s = Schedule::from_class_sizes(&[r], 1);
+            assert!(s.phases.is_empty(), "nothing to reduce against");
+            assert_eq!(s.final_d, r);
+            assert_eq!(s.elects(), r == 1);
+            assert_eq!(s.r(), r);
+        }
+    }
+
+    /// All classes the same size: every phase divides equals by equals,
+    /// so `|D|` never drops below the common size (Theorem 3.1's gcd is
+    /// the size itself) — and the degenerate all-singleton vector elects
+    /// before any phase runs.
+    #[test]
+    fn all_equal_size_vectors() {
+        for (sizes, ell) in [(vec![2usize, 2, 2], 1), (vec![3, 3], 1), (vec![4, 4, 4, 4], 2)] {
+            let s = Schedule::from_class_sizes(&sizes, ell);
+            assert_eq!(s.final_d, sizes[0], "{sizes:?}");
+            assert!(!s.elects());
+            // Equal pairs need zero rounds in either reduce flavor.
+            assert!(agent_rounds(sizes[0], sizes[0]).is_empty());
+            assert!(node_rounds(sizes[0], sizes[0]).is_empty());
+        }
+        let trivial = Schedule::from_class_sizes(&[1, 1, 1], 1);
+        assert!(trivial.phases.is_empty());
+        assert!(trivial.elects());
+    }
+
+    /// A singleton searcher class drains any opposing class in one
+    /// subtraction per unit: gcd(1, b) = 1 after exactly b − 1 rounds,
+    /// never swapping (the remainder `w − s = w − 1 ≥ s` until the end).
+    #[test]
+    fn singleton_against_anything_reaches_one() {
+        for b in 2..=7 {
+            let rounds = agent_rounds(1, b);
+            assert_eq!(rounds.len(), b - 1);
+            assert!(rounds.iter().all(|r| r.s == 1 && !r.swap));
+            let node = node_rounds(1, b);
+            assert_eq!(node.len(), 1, "β = q·1 + 1 in a single division");
+            assert_eq!(node[0].rho, 1);
+        }
+    }
 }

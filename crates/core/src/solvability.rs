@@ -13,13 +13,14 @@
 //!   impossibility, exhaustively over labelings (tiny instances);
 //! * [`consistent_verdicts`] — the cross-validation predicate E5 uses.
 
-use qelect_graph::surrounding::ordered_classes;
+use qelect_graph::cache::ordered_classes_cached;
 use qelect_graph::{symmetricity, Bicolored};
 use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
 
-/// `gcd(|C_1|, …, |C_k|)` over the Definition 2.1 equivalence classes.
+/// `gcd(|C_1|, …, |C_k|)` over the Definition 2.1 equivalence classes
+/// (memoized: sweeps re-query instances freely).
 pub fn gcd_of_class_sizes(bc: &Bicolored) -> usize {
-    ordered_classes(bc).gcd_of_sizes()
+    ordered_classes_cached(bc).gcd_of_sizes()
 }
 
 /// Whether plain ELECT succeeds on the instance (Theorem 3.1).

@@ -53,6 +53,7 @@
 pub mod analysis;
 pub mod automorphism;
 pub mod bicolored;
+pub mod cache;
 pub mod canon;
 pub mod digraph;
 pub mod dot;
@@ -66,6 +67,7 @@ pub mod symmetricity;
 pub mod view;
 
 pub use bicolored::Bicolored;
+pub use cache::{canonicalize_cached, ordered_classes_cached, CacheStats};
 pub use digraph::ColoredDigraph;
 pub use error::GraphError;
 pub use graph::{End, Graph, GraphBuilder, Incidence, NodeId, Port};

@@ -1,10 +1,15 @@
 //! Property-based tests for the graph substrate.
 
 use proptest::prelude::*;
+use qelect_graph::cache::{
+    canonicalize_cached, encode_bicolored, encode_bicolored_permuted, ordered_classes_cached,
+    ShardedCache,
+};
 use qelect_graph::canon::{are_isomorphic, canonicalize};
 use qelect_graph::digraph::Arc;
+use qelect_graph::graph::{GraphBuilder, Port};
 use qelect_graph::refine::refine_to_stable;
-use qelect_graph::surrounding::surrounding;
+use qelect_graph::surrounding::{ordered_classes, surrounding, OrderedClasses};
 use qelect_graph::view::{view_partition, views_equal_by_trees};
 use qelect_graph::{families, labeling, Bicolored, ColoredDigraph};
 
@@ -41,6 +46,32 @@ fn digraph() -> impl Strategy<Value = ColoredDigraph> {
         }
         ColoredDigraph::new(colors, arcs)
     })
+}
+
+/// Rebuild `bc` relabeled by `perm` (`old → new`) through the public
+/// [`GraphBuilder`] API — the reference against which the arithmetic
+/// permuted encoding of the cache layer is checked.
+fn rebuild_relabeled(bc: &Bicolored, perm: &[usize]) -> Bicolored {
+    let g = bc.graph();
+    let mut b = GraphBuilder::new(g.n());
+    for e in g.edges() {
+        b.add_edge_with_ports(perm[e.u], perm[e.v], Port(e.pu.0), Port(e.pv.0)).unwrap();
+    }
+    let homes: Vec<usize> = bc.homebases().iter().map(|&v| perm[v]).collect();
+    Bicolored::new(b.finish().unwrap(), &homes).unwrap()
+}
+
+/// Field-wise byte-identity of two [`OrderedClasses`] (the type does not
+/// derive `PartialEq`; `CanonicalForm` does).
+fn assert_classes_identical(a: &OrderedClasses, b: &OrderedClasses) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.ell, b.ell);
+    prop_assert_eq!(a.classes.len(), b.classes.len());
+    for (x, y) in a.classes.iter().zip(b.classes.iter()) {
+        prop_assert_eq!(&x.nodes, &y.nodes);
+        prop_assert_eq!(&x.form, &y.form);
+        prop_assert_eq!(x.black, y.black);
+    }
+    Ok(())
 }
 
 /// A random permutation of 0..n derived from a seed.
@@ -137,6 +168,59 @@ proptest! {
             &Bicolored::new(bc.graph().clone(), &[]).unwrap(),
         );
         prop_assert!(are_isomorphic(&a, &b));
+    }
+
+    // ---- cache layer: the differential properties -------------------
+
+    #[test]
+    fn cached_canonicalize_is_byte_identical(d in digraph()) {
+        let eager = canonicalize(&d);
+        let cached = canonicalize_cached(&d);
+        // CanonResult derives no PartialEq — compare every field.
+        prop_assert_eq!(&cached.form, &eager.form);
+        prop_assert_eq!(&cached.labeling, &eager.labeling);
+        prop_assert_eq!(&cached.generators, &eager.generators);
+        prop_assert_eq!(&cached.orbits, &eager.orbits);
+        prop_assert_eq!(cached.orbit_count, eager.orbit_count);
+    }
+
+    #[test]
+    fn cached_ordered_classes_are_byte_identical(bc in instance()) {
+        // Twice through the cached path: the first call may populate the
+        // global memo, the second must answer from it — both identical
+        // to the eager computation (classes, membership, forms, ℓ).
+        let eager = ordered_classes(&bc);
+        assert_classes_identical(&ordered_classes_cached(&bc), &eager)?;
+        assert_classes_identical(&ordered_classes_cached(&bc), &eager)?;
+    }
+
+    #[test]
+    fn collision_fallback_preserves_byte_identity(a in instance(), b in instance()) {
+        // Force every key onto one fingerprint: all entries share one
+        // collision chain and lookups must fall back to full-key
+        // comparison. Results must still be exact per instance.
+        fn constant(_: &[u64]) -> u64 { 0 }
+        let cache: ShardedCache<OrderedClasses> =
+            ShardedCache::with_fingerprinter(2, 64, constant);
+        for bc in [&a, &b, &a, &b] {
+            let got = cache.get_or_insert_with(encode_bicolored(bc), || ordered_classes(bc));
+            assert_classes_identical(&got, &ordered_classes(bc))?;
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.lookups(), 4);
+        prop_assert!(s.misses <= 2, "at most one entry per distinct instance");
+        prop_assert!(s.hits >= 2, "the repeat lookups answer from the chain");
+    }
+
+    #[test]
+    fn permuted_encoding_matches_rebuilt_instance(bc in instance(), seed in any::<u64>()) {
+        // The arithmetic hit-path encoding must equal the encoding of
+        // the actually-rebuilt relabeled instance, for any permutation.
+        let perm = perm_of(bc.n(), seed);
+        prop_assert_eq!(
+            encode_bicolored_permuted(&bc, &perm),
+            encode_bicolored(&rebuild_relabeled(&bc, &perm))
+        );
     }
 
     #[test]

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_canon-ca137d6bf23a73ad.d: crates/bench/benches/bench_canon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_canon-ca137d6bf23a73ad.rmeta: crates/bench/benches/bench_canon.rs Cargo.toml
+
+crates/bench/benches/bench_canon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_elect-69869f529ef9fc43.d: crates/bench/benches/bench_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_elect-69869f529ef9fc43.rmeta: crates/bench/benches/bench_elect.rs Cargo.toml
+
+crates/bench/benches/bench_elect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

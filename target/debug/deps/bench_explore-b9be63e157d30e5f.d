@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_explore-b9be63e157d30e5f.d: crates/bench/benches/bench_explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_explore-b9be63e157d30e5f.rmeta: crates/bench/benches/bench_explore.rs Cargo.toml
+
+crates/bench/benches/bench_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_runtime-872f0148467b3dd3.d: crates/bench/benches/bench_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_runtime-872f0148467b3dd3.rmeta: crates/bench/benches/bench_runtime.rs Cargo.toml
+
+crates/bench/benches/bench_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sched_ablation-1323005736933eed.d: crates/bench/benches/bench_sched_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sched_ablation-1323005736933eed.rmeta: crates/bench/benches/bench_sched_ablation.rs Cargo.toml
+
+crates/bench/benches/bench_sched_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sweep-5f86e2f21c2f2422.d: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sweep-5f86e2f21c2f2422.rmeta: crates/bench/benches/bench_sweep.rs Cargo.toml
+
+crates/bench/benches/bench_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

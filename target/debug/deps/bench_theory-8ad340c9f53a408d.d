@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_theory-8ad340c9f53a408d.d: crates/bench/benches/bench_theory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_theory-8ad340c9f53a408d.rmeta: crates/bench/benches/bench_theory.rs Cargo.toml
+
+crates/bench/benches/bench_theory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_views-367ff38cf65f6afe.d: crates/bench/benches/bench_views.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_views-367ff38cf65f6afe.rmeta: crates/bench/benches/bench_views.rs Cargo.toml
+
+crates/bench/benches/bench_views.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

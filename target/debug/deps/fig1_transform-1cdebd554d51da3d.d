@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_transform-1cdebd554d51da3d.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/debug/deps/fig1_transform-1cdebd554d51da3d: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

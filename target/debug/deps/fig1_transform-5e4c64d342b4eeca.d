@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_transform-5e4c64d342b4eeca.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/debug/deps/fig1_transform-5e4c64d342b4eeca: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_transform-8b922e898f99cc0a.d: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_transform-8b922e898f99cc0a.rmeta: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+crates/bench/src/bin/fig1_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

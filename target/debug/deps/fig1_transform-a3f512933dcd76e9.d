@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_transform-a3f512933dcd76e9.d: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_transform-a3f512933dcd76e9.rmeta: crates/bench/src/bin/fig1_transform.rs Cargo.toml
+
+crates/bench/src/bin/fig1_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

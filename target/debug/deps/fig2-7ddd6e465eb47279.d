@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-7ddd6e465eb47279.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-7ddd6e465eb47279: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

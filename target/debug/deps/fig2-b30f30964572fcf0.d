@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-b30f30964572fcf0.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-b30f30964572fcf0: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

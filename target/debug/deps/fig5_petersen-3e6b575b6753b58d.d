@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_petersen-3e6b575b6753b58d.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/debug/deps/fig5_petersen-3e6b575b6753b58d: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

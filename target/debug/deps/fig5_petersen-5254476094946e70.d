@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_petersen-5254476094946e70.d: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_petersen-5254476094946e70.rmeta: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+crates/bench/src/bin/fig5_petersen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_petersen-b8d901c3f2cc7d4e.d: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_petersen-b8d901c3f2cc7d4e.rmeta: crates/bench/src/bin/fig5_petersen.rs Cargo.toml
+
+crates/bench/src/bin/fig5_petersen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

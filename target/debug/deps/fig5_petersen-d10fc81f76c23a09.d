@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_petersen-d10fc81f76c23a09.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/debug/deps/fig5_petersen-d10fc81f76c23a09: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_effectual-73a0b79a2b83f1aa.d: crates/core/../../tests/integration_effectual.rs
+
+/root/repo/target/debug/deps/integration_effectual-73a0b79a2b83f1aa: crates/core/../../tests/integration_effectual.rs
+
+crates/core/../../tests/integration_effectual.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_effectual-efddbd01ab6d865e.d: crates/core/../../tests/integration_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_effectual-efddbd01ab6d865e.rmeta: crates/core/../../tests/integration_effectual.rs Cargo.toml
+
+crates/core/../../tests/integration_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_elect-217d532b92c133f8.d: crates/core/../../tests/integration_elect.rs
+
+/root/repo/target/debug/deps/integration_elect-217d532b92c133f8: crates/core/../../tests/integration_elect.rs
+
+crates/core/../../tests/integration_elect.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/integration_elect-c4c17f22b534538c.d: crates/core/../../tests/integration_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_elect-c4c17f22b534538c.rmeta: crates/core/../../tests/integration_elect.rs Cargo.toml
+
+crates/core/../../tests/integration_elect.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/core
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_explore-1499936fe3c0da54.d: crates/core/../../tests/integration_explore.rs
+
+/root/repo/target/debug/deps/integration_explore-1499936fe3c0da54: crates/core/../../tests/integration_explore.rs
+
+crates/core/../../tests/integration_explore.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_explore-9687722cff793b86.d: crates/core/../../tests/integration_explore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_explore-9687722cff793b86.rmeta: crates/core/../../tests/integration_explore.rs Cargo.toml
+
+crates/core/../../tests/integration_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

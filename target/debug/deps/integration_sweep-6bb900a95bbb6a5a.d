@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/integration_sweep-6bb900a95bbb6a5a.d: crates/bench/../../tests/integration_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_sweep-6bb900a95bbb6a5a.rmeta: crates/bench/../../tests/integration_sweep.rs Cargo.toml
+
+crates/bench/../../tests/integration_sweep.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/integration_sweep-7e04a2cdede33618.d: crates/bench/../../tests/integration_sweep.rs
+
+/root/repo/target/debug/deps/integration_sweep-7e04a2cdede33618: crates/bench/../../tests/integration_sweep.rs
+
+crates/bench/../../tests/integration_sweep.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

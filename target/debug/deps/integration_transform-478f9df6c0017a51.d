@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_transform-478f9df6c0017a51.d: crates/core/../../tests/integration_transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_transform-478f9df6c0017a51.rmeta: crates/core/../../tests/integration_transform.rs Cargo.toml
+
+crates/core/../../tests/integration_transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_transform-8a2734e428e559e9.d: crates/core/../../tests/integration_transform.rs
+
+/root/repo/target/debug/deps/integration_transform-8a2734e428e559e9: crates/core/../../tests/integration_transform.rs
+
+crates/core/../../tests/integration_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3a7154497279ebc7.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3a7154497279ebc7: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

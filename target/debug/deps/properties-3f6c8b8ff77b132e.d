@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3f6c8b8ff77b132e.d: crates/group/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3f6c8b8ff77b132e: crates/group/tests/properties.rs
+
+crates/group/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-70213915cb321f99.d: crates/group/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-70213915cb321f99.rmeta: crates/group/tests/properties.rs Cargo.toml
+
+crates/group/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e73bf596a9ef63d2.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e73bf596a9ef63d2.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

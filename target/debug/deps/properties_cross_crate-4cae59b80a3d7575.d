@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties_cross_crate-4cae59b80a3d7575.d: crates/core/../../tests/properties_cross_crate.rs
+
+/root/repo/target/debug/deps/properties_cross_crate-4cae59b80a3d7575: crates/core/../../tests/properties_cross_crate.rs
+
+crates/core/../../tests/properties_cross_crate.rs:

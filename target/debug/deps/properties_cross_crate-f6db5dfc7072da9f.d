@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties_cross_crate-f6db5dfc7072da9f.d: crates/core/../../tests/properties_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties_cross_crate-f6db5dfc7072da9f.rmeta: crates/core/../../tests/properties_cross_crate.rs Cargo.toml
+
+crates/core/../../tests/properties_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/qelect-57101cd31d227f9d.d: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect-57101cd31d227f9d.rmeta: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/anonymous.rs:
+crates/core/src/elect.rs:
+crates/core/src/gathering.rs:
+crates/core/src/map.rs:
+crates/core/src/mapdraw.rs:
+crates/core/src/petersen.rs:
+crates/core/src/quantitative.rs:
+crates/core/src/reduce.rs:
+crates/core/src/replay.rs:
+crates/core/src/schedule.rs:
+crates/core/src/solvability.rs:
+crates/core/src/stepquant.rs:
+crates/core/src/translation_elect.rs:
+crates/core/src/view_elect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qelect_agentsim-9f0e007a0f09c0c8.d: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs
+
+/root/repo/target/debug/deps/qelect_agentsim-9f0e007a0f09c0c8: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs
+
+crates/agentsim/src/lib.rs:
+crates/agentsim/src/color.rs:
+crates/agentsim/src/ctx.rs:
+crates/agentsim/src/explore.rs:
+crates/agentsim/src/freerun.rs:
+crates/agentsim/src/gated.rs:
+crates/agentsim/src/message_net.rs:
+crates/agentsim/src/metrics.rs:
+crates/agentsim/src/sched.rs:
+crates/agentsim/src/shuffle.rs:
+crates/agentsim/src/sign.rs:
+crates/agentsim/src/stepagent.rs:
+crates/agentsim/src/trace.rs:
+crates/agentsim/src/whiteboard.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/qelect_agentsim-ba18bf425ba0689c.d: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_agentsim-ba18bf425ba0689c.rmeta: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs Cargo.toml
+
+crates/agentsim/src/lib.rs:
+crates/agentsim/src/color.rs:
+crates/agentsim/src/ctx.rs:
+crates/agentsim/src/explore.rs:
+crates/agentsim/src/freerun.rs:
+crates/agentsim/src/gated.rs:
+crates/agentsim/src/message_net.rs:
+crates/agentsim/src/metrics.rs:
+crates/agentsim/src/sched.rs:
+crates/agentsim/src/shuffle.rs:
+crates/agentsim/src/sign.rs:
+crates/agentsim/src/stepagent.rs:
+crates/agentsim/src/trace.rs:
+crates/agentsim/src/whiteboard.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

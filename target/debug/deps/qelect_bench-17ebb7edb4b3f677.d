@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qelect_bench-17ebb7edb4b3f677.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_bench-17ebb7edb4b3f677.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qelect_bench-21d1e957f4eed287.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_bench-21d1e957f4eed287.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

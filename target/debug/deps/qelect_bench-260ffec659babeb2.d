@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qelect_bench-260ffec659babeb2.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/qelect_bench-260ffec659babeb2: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qelect_bench-5eb936442ebc1ad3.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libqelect_bench-5eb936442ebc1ad3.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/debug/deps/libqelect_bench-5eb936442ebc1ad3.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:

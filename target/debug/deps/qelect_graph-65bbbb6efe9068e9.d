@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/qelect_graph-65bbbb6efe9068e9.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/cache.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_graph-65bbbb6efe9068e9.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/cache.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/bicolored.rs:
+crates/graph/src/cache.rs:
+crates/graph/src/canon.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/error.rs:
+crates/graph/src/families/mod.rs:
+crates/graph/src/families/basic.rs:
+crates/graph/src/families/network.rs:
+crates/graph/src/families/product.rs:
+crates/graph/src/families/random.rs:
+crates/graph/src/families/special.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/labeling.rs:
+crates/graph/src/refine.rs:
+crates/graph/src/surrounding.rs:
+crates/graph/src/symmetricity.rs:
+crates/graph/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

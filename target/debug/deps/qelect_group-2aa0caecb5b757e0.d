@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qelect_group-2aa0caecb5b757e0.d: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+/root/repo/target/debug/deps/libqelect_group-2aa0caecb5b757e0.rlib: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+/root/repo/target/debug/deps/libqelect_group-2aa0caecb5b757e0.rmeta: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+crates/group/src/lib.rs:
+crates/group/src/cayley.rs:
+crates/group/src/classify.rs:
+crates/group/src/group.rs:
+crates/group/src/marking.rs:
+crates/group/src/perm.rs:
+crates/group/src/recognition.rs:
+crates/group/src/sabidussi.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qelect_group-ceedd9da8a8030db.d: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelect_group-ceedd9da8a8030db.rmeta: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs Cargo.toml
+
+crates/group/src/lib.rs:
+crates/group/src/cayley.rs:
+crates/group/src/classify.rs:
+crates/group/src/group.rs:
+crates/group/src/marking.rs:
+crates/group/src/perm.rs:
+crates/group/src/recognition.rs:
+crates/group/src/sabidussi.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

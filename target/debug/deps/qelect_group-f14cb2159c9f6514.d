@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qelect_group-f14cb2159c9f6514.d: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+/root/repo/target/debug/deps/qelect_group-f14cb2159c9f6514: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+crates/group/src/lib.rs:
+crates/group/src/cayley.rs:
+crates/group/src/classify.rs:
+crates/group/src/group.rs:
+crates/group/src/marking.rs:
+crates/group/src/perm.rs:
+crates/group/src/recognition.rs:
+crates/group/src/sabidussi.rs:

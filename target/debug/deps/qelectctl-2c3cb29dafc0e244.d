@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qelectctl-2c3cb29dafc0e244.d: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelectctl-2c3cb29dafc0e244.rmeta: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+crates/bench/src/bin/qelectctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

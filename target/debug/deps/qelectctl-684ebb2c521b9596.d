@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qelectctl-684ebb2c521b9596.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/debug/deps/qelectctl-684ebb2c521b9596: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

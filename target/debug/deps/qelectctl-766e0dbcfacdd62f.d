@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qelectctl-766e0dbcfacdd62f.d: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqelectctl-766e0dbcfacdd62f.rmeta: crates/bench/src/bin/qelectctl.rs Cargo.toml
+
+crates/bench/src/bin/qelectctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qelectctl-c5bf09da6aa27b69.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/debug/deps/qelectctl-c5bf09da6aa27b69: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

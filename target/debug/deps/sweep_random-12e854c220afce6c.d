@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_random-12e854c220afce6c.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/debug/deps/sweep_random-12e854c220afce6c: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

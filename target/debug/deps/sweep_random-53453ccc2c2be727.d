@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep_random-53453ccc2c2be727.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/debug/deps/sweep_random-53453ccc2c2be727: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

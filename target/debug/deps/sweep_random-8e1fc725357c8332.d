@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sweep_random-8e1fc725357c8332.d: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsweep_random-8e1fc725357c8332.rmeta: crates/bench/src/bin/sweep_random.rs Cargo.toml
+
+crates/bench/src/bin/sweep_random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-202cdd7adde6df49.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-202cdd7adde6df49: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-3840e8db6d1c74fe.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-3840e8db6d1c74fe: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

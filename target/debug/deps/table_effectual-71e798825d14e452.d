@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_effectual-71e798825d14e452.d: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_effectual-71e798825d14e452.rmeta: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+crates/bench/src/bin/table_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_effectual-798a240944774e97.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/debug/deps/table_effectual-798a240944774e97: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_effectual-bbc0a376dbaeaa41.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/debug/deps/table_effectual-bbc0a376dbaeaa41: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

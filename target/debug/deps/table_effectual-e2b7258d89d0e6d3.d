@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_effectual-e2b7258d89d0e6d3.d: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_effectual-e2b7258d89d0e6d3.rmeta: crates/bench/src/bin/table_effectual.rs Cargo.toml
+
+crates/bench/src/bin/table_effectual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_moves-787afc53de9d4b29.d: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_moves-787afc53de9d4b29.rmeta: crates/bench/src/bin/table_moves.rs Cargo.toml
+
+crates/bench/src/bin/table_moves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

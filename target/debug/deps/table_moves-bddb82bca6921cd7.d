@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_moves-bddb82bca6921cd7.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/debug/deps/table_moves-bddb82bca6921cd7: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:

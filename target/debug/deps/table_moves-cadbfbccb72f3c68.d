@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_moves-cadbfbccb72f3c68.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/debug/deps/table_moves-cadbfbccb72f3c68: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cayley_tour-ce74eed7f91a4ca1.d: crates/core/../../examples/cayley_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcayley_tour-ce74eed7f91a4ca1.rmeta: crates/core/../../examples/cayley_tour.rs Cargo.toml
+
+crates/core/../../examples/cayley_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

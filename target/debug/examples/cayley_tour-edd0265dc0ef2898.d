@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cayley_tour-edd0265dc0ef2898.d: crates/core/../../examples/cayley_tour.rs
+
+/root/repo/target/debug/examples/cayley_tour-edd0265dc0ef2898: crates/core/../../examples/cayley_tour.rs
+
+crates/core/../../examples/cayley_tour.rs:

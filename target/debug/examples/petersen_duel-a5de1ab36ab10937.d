@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/petersen_duel-a5de1ab36ab10937.d: crates/core/../../examples/petersen_duel.rs
+
+/root/repo/target/debug/examples/petersen_duel-a5de1ab36ab10937: crates/core/../../examples/petersen_duel.rs
+
+crates/core/../../examples/petersen_duel.rs:

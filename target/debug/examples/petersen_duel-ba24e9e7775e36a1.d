@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/petersen_duel-ba24e9e7775e36a1.d: crates/core/../../examples/petersen_duel.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpetersen_duel-ba24e9e7775e36a1.rmeta: crates/core/../../examples/petersen_duel.rs Cargo.toml
+
+crates/core/../../examples/petersen_duel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

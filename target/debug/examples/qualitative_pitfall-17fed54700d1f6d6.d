@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qualitative_pitfall-17fed54700d1f6d6.d: crates/core/../../examples/qualitative_pitfall.rs
+
+/root/repo/target/debug/examples/qualitative_pitfall-17fed54700d1f6d6: crates/core/../../examples/qualitative_pitfall.rs
+
+crates/core/../../examples/qualitative_pitfall.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/qualitative_pitfall-36f19d4d5b47c23b.d: crates/core/../../examples/qualitative_pitfall.rs Cargo.toml
+
+/root/repo/target/debug/examples/libqualitative_pitfall-36f19d4d5b47c23b.rmeta: crates/core/../../examples/qualitative_pitfall.rs Cargo.toml
+
+crates/core/../../examples/qualitative_pitfall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ad444bd6c4e38cdd.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ad444bd6c4e38cdd: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

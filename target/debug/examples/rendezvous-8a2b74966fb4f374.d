@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rendezvous-8a2b74966fb4f374.d: crates/core/../../examples/rendezvous.rs
+
+/root/repo/target/debug/examples/rendezvous-8a2b74966fb4f374: crates/core/../../examples/rendezvous.rs
+
+crates/core/../../examples/rendezvous.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rendezvous-ca49ac65c60e0f91.d: crates/core/../../examples/rendezvous.rs Cargo.toml
+
+/root/repo/target/debug/examples/librendezvous-ca49ac65c60e0f91.rmeta: crates/core/../../examples/rendezvous.rs Cargo.toml
+
+crates/core/../../examples/rendezvous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-57e27f1a1d8c784d.d: crates/bench/benches/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-57e27f1a1d8c784d: crates/bench/benches/bench_sweep.rs
+
+crates/bench/benches/bench_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sweep-99f3ce57ecd0dc7e.d: crates/bench/benches/bench_sweep.rs
+
+/root/repo/target/release/deps/bench_sweep-99f3ce57ecd0dc7e: crates/bench/benches/bench_sweep.rs
+
+crates/bench/benches/bench_sweep.rs:

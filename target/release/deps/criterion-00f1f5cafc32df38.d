@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-00f1f5cafc32df38.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-00f1f5cafc32df38.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-00f1f5cafc32df38.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-00dba6470f3b6ff1.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-00dba6470f3b6ff1.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-00dba6470f3b6ff1.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_transform-055ce9ad1c6bb586.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/release/deps/fig1_transform-055ce9ad1c6bb586: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

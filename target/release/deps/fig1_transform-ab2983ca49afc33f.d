@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_transform-ab2983ca49afc33f.d: crates/bench/src/bin/fig1_transform.rs
+
+/root/repo/target/release/deps/fig1_transform-ab2983ca49afc33f: crates/bench/src/bin/fig1_transform.rs
+
+crates/bench/src/bin/fig1_transform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-40eef8a54aadbea5.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-40eef8a54aadbea5: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

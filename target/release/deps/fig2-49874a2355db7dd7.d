@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-49874a2355db7dd7.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-49874a2355db7dd7: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_petersen-3cd3326ee6300ee4.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/release/deps/fig5_petersen-3cd3326ee6300ee4: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_petersen-8d063e37d8426ea1.d: crates/bench/src/bin/fig5_petersen.rs
+
+/root/repo/target/release/deps/fig5_petersen-8d063e37d8426ea1: crates/bench/src/bin/fig5_petersen.rs
+
+crates/bench/src/bin/fig5_petersen.rs:

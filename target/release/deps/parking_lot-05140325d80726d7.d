@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-05140325d80726d7.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-05140325d80726d7.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-05140325d80726d7.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pet-c858ff0bc5eb1af2.d: crates/bench/src/bin/pet.rs
+
+/root/repo/target/release/deps/pet-c858ff0bc5eb1af2: crates/bench/src/bin/pet.rs
+
+crates/bench/src/bin/pet.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_sweep-037ec19ac1f50050.d: crates/bench/src/bin/profile_sweep.rs
+
+/root/repo/target/release/deps/profile_sweep-037ec19ac1f50050: crates/bench/src/bin/profile_sweep.rs
+
+crates/bench/src/bin/profile_sweep.rs:

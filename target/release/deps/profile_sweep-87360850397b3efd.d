@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/profile_sweep-87360850397b3efd.d: crates/bench/src/bin/profile_sweep.rs
+
+/root/repo/target/release/deps/profile_sweep-87360850397b3efd: crates/bench/src/bin/profile_sweep.rs
+
+crates/bench/src/bin/profile_sweep.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/qelect-db588bbf1cdca8ea.d: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs
+
+/root/repo/target/release/deps/libqelect-db588bbf1cdca8ea.rlib: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs
+
+/root/repo/target/release/deps/libqelect-db588bbf1cdca8ea.rmeta: crates/core/src/lib.rs crates/core/src/anonymous.rs crates/core/src/elect.rs crates/core/src/gathering.rs crates/core/src/map.rs crates/core/src/mapdraw.rs crates/core/src/petersen.rs crates/core/src/quantitative.rs crates/core/src/reduce.rs crates/core/src/replay.rs crates/core/src/schedule.rs crates/core/src/solvability.rs crates/core/src/stepquant.rs crates/core/src/translation_elect.rs crates/core/src/view_elect.rs
+
+crates/core/src/lib.rs:
+crates/core/src/anonymous.rs:
+crates/core/src/elect.rs:
+crates/core/src/gathering.rs:
+crates/core/src/map.rs:
+crates/core/src/mapdraw.rs:
+crates/core/src/petersen.rs:
+crates/core/src/quantitative.rs:
+crates/core/src/reduce.rs:
+crates/core/src/replay.rs:
+crates/core/src/schedule.rs:
+crates/core/src/solvability.rs:
+crates/core/src/stepquant.rs:
+crates/core/src/translation_elect.rs:
+crates/core/src/view_elect.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/qelect_agentsim-094688e7b7cfeb83.d: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs
+
+/root/repo/target/release/deps/libqelect_agentsim-094688e7b7cfeb83.rlib: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs
+
+/root/repo/target/release/deps/libqelect_agentsim-094688e7b7cfeb83.rmeta: crates/agentsim/src/lib.rs crates/agentsim/src/color.rs crates/agentsim/src/ctx.rs crates/agentsim/src/explore.rs crates/agentsim/src/freerun.rs crates/agentsim/src/gated.rs crates/agentsim/src/message_net.rs crates/agentsim/src/metrics.rs crates/agentsim/src/sched.rs crates/agentsim/src/shuffle.rs crates/agentsim/src/sign.rs crates/agentsim/src/stepagent.rs crates/agentsim/src/trace.rs crates/agentsim/src/whiteboard.rs
+
+crates/agentsim/src/lib.rs:
+crates/agentsim/src/color.rs:
+crates/agentsim/src/ctx.rs:
+crates/agentsim/src/explore.rs:
+crates/agentsim/src/freerun.rs:
+crates/agentsim/src/gated.rs:
+crates/agentsim/src/message_net.rs:
+crates/agentsim/src/metrics.rs:
+crates/agentsim/src/sched.rs:
+crates/agentsim/src/shuffle.rs:
+crates/agentsim/src/sign.rs:
+crates/agentsim/src/stepagent.rs:
+crates/agentsim/src/trace.rs:
+crates/agentsim/src/whiteboard.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qelect_bench-b2de745c23796bfa.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libqelect_bench-b2de745c23796bfa.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libqelect_bench-b2de745c23796bfa.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qelect_bench-bc4fdfb54efbe44d.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libqelect_bench-bc4fdfb54efbe44d.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+/root/repo/target/release/deps/libqelect_bench-bc4fdfb54efbe44d.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/sweep.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/sweep.rs:

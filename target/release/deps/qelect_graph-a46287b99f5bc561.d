@@ -1,0 +1,27 @@
+/root/repo/target/release/deps/qelect_graph-a46287b99f5bc561.d: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/cache.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs
+
+/root/repo/target/release/deps/libqelect_graph-a46287b99f5bc561.rlib: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/cache.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs
+
+/root/repo/target/release/deps/libqelect_graph-a46287b99f5bc561.rmeta: crates/graph/src/lib.rs crates/graph/src/analysis.rs crates/graph/src/automorphism.rs crates/graph/src/bicolored.rs crates/graph/src/cache.rs crates/graph/src/canon.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/error.rs crates/graph/src/families/mod.rs crates/graph/src/families/basic.rs crates/graph/src/families/network.rs crates/graph/src/families/product.rs crates/graph/src/families/random.rs crates/graph/src/families/special.rs crates/graph/src/graph.rs crates/graph/src/labeling.rs crates/graph/src/refine.rs crates/graph/src/surrounding.rs crates/graph/src/symmetricity.rs crates/graph/src/view.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/analysis.rs:
+crates/graph/src/automorphism.rs:
+crates/graph/src/bicolored.rs:
+crates/graph/src/cache.rs:
+crates/graph/src/canon.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/error.rs:
+crates/graph/src/families/mod.rs:
+crates/graph/src/families/basic.rs:
+crates/graph/src/families/network.rs:
+crates/graph/src/families/product.rs:
+crates/graph/src/families/random.rs:
+crates/graph/src/families/special.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/labeling.rs:
+crates/graph/src/refine.rs:
+crates/graph/src/surrounding.rs:
+crates/graph/src/symmetricity.rs:
+crates/graph/src/view.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qelect_group-658e3f1fff8c8d13.d: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+/root/repo/target/release/deps/libqelect_group-658e3f1fff8c8d13.rlib: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+/root/repo/target/release/deps/libqelect_group-658e3f1fff8c8d13.rmeta: crates/group/src/lib.rs crates/group/src/cayley.rs crates/group/src/classify.rs crates/group/src/group.rs crates/group/src/marking.rs crates/group/src/perm.rs crates/group/src/recognition.rs crates/group/src/sabidussi.rs
+
+crates/group/src/lib.rs:
+crates/group/src/cayley.rs:
+crates/group/src/classify.rs:
+crates/group/src/group.rs:
+crates/group/src/marking.rs:
+crates/group/src/perm.rs:
+crates/group/src/recognition.rs:
+crates/group/src/sabidussi.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qelectctl-1040dead76375319.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/release/deps/qelectctl-1040dead76375319: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

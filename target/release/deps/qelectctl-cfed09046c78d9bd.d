@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qelectctl-cfed09046c78d9bd.d: crates/bench/src/bin/qelectctl.rs
+
+/root/repo/target/release/deps/qelectctl-cfed09046c78d9bd: crates/bench/src/bin/qelectctl.rs
+
+crates/bench/src/bin/qelectctl.rs:

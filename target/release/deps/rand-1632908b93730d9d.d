@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1632908b93730d9d.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1632908b93730d9d.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1632908b93730d9d.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

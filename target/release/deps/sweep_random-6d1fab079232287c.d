@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_random-6d1fab079232287c.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/release/deps/sweep_random-6d1fab079232287c: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

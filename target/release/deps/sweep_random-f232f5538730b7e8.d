@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep_random-f232f5538730b7e8.d: crates/bench/src/bin/sweep_random.rs
+
+/root/repo/target/release/deps/sweep_random-f232f5538730b7e8: crates/bench/src/bin/sweep_random.rs
+
+crates/bench/src/bin/sweep_random.rs:

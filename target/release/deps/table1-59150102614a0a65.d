@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-59150102614a0a65.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-59150102614a0a65: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

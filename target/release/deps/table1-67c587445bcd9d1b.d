@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-67c587445bcd9d1b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-67c587445bcd9d1b: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

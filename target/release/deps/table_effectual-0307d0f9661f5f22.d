@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_effectual-0307d0f9661f5f22.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/release/deps/table_effectual-0307d0f9661f5f22: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

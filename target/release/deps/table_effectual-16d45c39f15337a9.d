@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_effectual-16d45c39f15337a9.d: crates/bench/src/bin/table_effectual.rs
+
+/root/repo/target/release/deps/table_effectual-16d45c39f15337a9: crates/bench/src/bin/table_effectual.rs
+
+crates/bench/src/bin/table_effectual.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_moves-314808bf839346c4.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/release/deps/table_moves-314808bf839346c4: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:

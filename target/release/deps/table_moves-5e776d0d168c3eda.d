@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_moves-5e776d0d168c3eda.d: crates/bench/src/bin/table_moves.rs
+
+/root/repo/target/release/deps/table_moves-5e776d0d168c3eda: crates/bench/src/bin/table_moves.rs
+
+crates/bench/src/bin/table_moves.rs:
