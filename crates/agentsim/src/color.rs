@@ -61,7 +61,10 @@ pub struct ColorRegistry {
 impl ColorRegistry {
     /// A registry seeded for reproducibility.
     pub fn new(seed: u64) -> ColorRegistry {
-        ColorRegistry { rng: StdRng::seed_from_u64(seed ^ 0xC01_0FF), issued: Vec::new() }
+        ColorRegistry {
+            rng: StdRng::seed_from_u64(seed ^ 0xC01_0FF),
+            issued: Vec::new(),
+        }
     }
 
     /// Issue a fresh color, distinct from all previously issued ones.

@@ -62,7 +62,12 @@ pub struct GuidedScheduler {
 impl GuidedScheduler {
     /// A scheduler following `prefix`, then branch 0 forever.
     pub fn new(prefix: Vec<usize>) -> GuidedScheduler {
-        GuidedScheduler { prefix, log: Vec::new(), last: None, preemptions: 0 }
+        GuidedScheduler {
+            prefix,
+            log: Vec::new(),
+            last: None,
+            preemptions: 0,
+        }
     }
 
     /// Candidates in canonical order: the last-run agent first (if still
@@ -82,7 +87,11 @@ impl Scheduler for GuidedScheduler {
     fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
         let (cands, last_ready) = self.candidates(ready);
         let i = self.log.len();
-        let branch = if i < self.prefix.len() { self.prefix[i] } else { 0 };
+        let branch = if i < self.prefix.len() {
+            self.prefix[i]
+        } else {
+            0
+        };
         assert!(
             branch < cands.len(),
             "guided prefix branch {branch} out of range at decision {i} \
@@ -250,8 +259,11 @@ where
         states.insert(outcome_fingerprint(&rep));
         if let Err(violation) = property(&rep) {
             report.states_hashed = states.len();
-            report.counterexample =
-                Some(CounterExample { schedule: rep.trace.clone(), violation, report: rep });
+            report.counterexample = Some(CounterExample {
+                schedule: rep.trace.clone(),
+                violation,
+                report: rep,
+            });
             return report;
         }
         match next_prefix(&scheduler.log, cfg.preemption_bound) {
@@ -276,8 +288,11 @@ where
             states.insert(outcome_fingerprint(&rep));
             if let Err(violation) = property(&rep) {
                 report.states_hashed = states.len();
-                report.counterexample =
-                    Some(CounterExample { schedule: rep.trace.clone(), violation, report: rep });
+                report.counterexample = Some(CounterExample {
+                    schedule: rep.trace.clone(),
+                    violation,
+                    report: rep,
+                });
                 return report;
             }
         }
@@ -345,7 +360,12 @@ where
 {
     let schedule = shrink_schedule(&trace.schedule, still_fails);
     Trace {
-        label: format!("{} (shrunk {} → {} ticks)", trace.label, trace.schedule.len(), schedule.len()),
+        label: format!(
+            "{} (shrunk {} → {} ticks)",
+            trace.label,
+            trace.schedule.len(),
+            schedule.len()
+        ),
         schedule,
         events: Vec::new(),
         ..trace.clone()
@@ -363,9 +383,7 @@ mod tests {
     /// Two racers walk to C3's shared free node (2) and race to claim
     /// it; whoever posts first wins. Every schedule yields exactly one
     /// winner — so the "exactly one leader" property holds universally.
-    fn race_runner(
-        bc: &Bicolored,
-    ) -> impl FnMut(&mut dyn Scheduler) -> RunReport + '_ {
+    fn race_runner(bc: &Bicolored) -> impl FnMut(&mut dyn Scheduler) -> RunReport + '_ {
         move |scheduler| {
             let mk = || -> GatedAgent {
                 Box::new(|ctx| {
@@ -391,10 +409,18 @@ mod tests {
                             false
                         }
                     })?;
-                    Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                    Ok(if won {
+                        AgentOutcome::Leader
+                    } else {
+                        AgentOutcome::Defeated
+                    })
                 })
             };
-            let cfg = RunConfig { seed: 7, record_trace: true, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed: 7,
+                record_trace: true,
+                ..RunConfig::default()
+            };
             run_gated_with(bc, cfg, vec![mk(), mk()], scheduler)
         }
     }
@@ -430,7 +456,11 @@ mod tests {
                 Err(format!("not a clean election: {:?}", rep.outcomes))
             }
         });
-        assert!(report.passed(), "{:?}", report.counterexample.map(|c| c.violation));
+        assert!(
+            report.passed(),
+            "{:?}",
+            report.counterexample.map(|c| c.violation)
+        );
         assert!(report.complete, "bounded tree should be exhaustible");
         assert!(report.schedules_explored > 1, "tree has real branching");
         assert!(report.states_hashed >= 2, "both winners are reachable");
@@ -454,7 +484,9 @@ mod tests {
                 Err("agent 1 won".into())
             }
         });
-        let ce = report.counterexample.expect("must find the losing schedule");
+        let ce = report
+            .counterexample
+            .expect("must find the losing schedule");
         assert!(!ce.schedule.is_empty());
 
         // The counterexample replays to the same violation…
@@ -470,7 +502,11 @@ mod tests {
         });
         assert!(shrunk.len() <= ce.schedule.len());
         let mut replayer = crate::sched::ReplayScheduler::new(shrunk.clone());
-        assert_ne!(run(&mut replayer).outcomes[0], AgentOutcome::Leader, "{shrunk:?}");
+        assert_ne!(
+            run(&mut replayer).outcomes[0],
+            AgentOutcome::Leader,
+            "{shrunk:?}"
+        );
     }
 
     #[test]
@@ -487,7 +523,11 @@ mod tests {
         // With no preemptions allowed, branching only happens where the
         // running agent blocks (here: when it finishes), so the tree is
         // tiny but not necessarily a single path.
-        assert!(report.schedules_explored <= 8, "{}", report.schedules_explored);
+        assert!(
+            report.schedules_explored <= 8,
+            "{}",
+            report.schedules_explored
+        );
     }
 
     #[test]
@@ -502,8 +542,15 @@ mod tests {
         let report = explore_schedules(&cfg, race_runner(&bc), |_| Ok(()));
         assert!(!report.complete);
         assert!(report.swarm_used);
-        assert_eq!(report.schedules_explored, 3 + 5, "DFS budget, then the full swarm");
-        let cfg = ExploreConfig { swarm_runs: 0, ..cfg };
+        assert_eq!(
+            report.schedules_explored,
+            3 + 5,
+            "DFS budget, then the full swarm"
+        );
+        let cfg = ExploreConfig {
+            swarm_runs: 0,
+            ..cfg
+        };
         let report = explore_schedules(&cfg, race_runner(&bc), |_| Ok(()));
         assert!(!report.swarm_used);
         assert_eq!(report.schedules_explored, 3, "the DFS budget is a hard cap");
@@ -514,9 +561,7 @@ mod tests {
         // Failure = schedule contains at least three 1s. Minimal failing
         // schedules under deletion+coalescing have exactly three ticks.
         let schedule = vec![0, 1, 0, 0, 1, 0, 1, 0, 0, 1, 1, 0];
-        let shrunk = shrink_schedule(&schedule, |c| {
-            c.iter().filter(|&&a| a == 1).count() >= 3
-        });
+        let shrunk = shrink_schedule(&schedule, |c| c.iter().filter(|&&a| a == 1).count() >= 3);
         assert_eq!(shrunk, vec![1, 1, 1]);
     }
 }

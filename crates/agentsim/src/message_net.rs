@@ -109,12 +109,7 @@ impl MessageNet {
     fn port_map(&self, agent: usize, node: usize) -> Vec<Port> {
         let syms: Vec<Port> = self.bc.graph().ports_at(node);
         if self.scramble_ports {
-            crate::shuffle::scrambled_ports(
-                self.seed.wrapping_add(0x9047_5EED),
-                agent,
-                node,
-                syms,
-            )
+            crate::shuffle::scrambled_ports(self.seed.wrapping_add(0x9047_5EED), agent, node, syms)
         } else {
             syms
         }
@@ -126,8 +121,7 @@ impl MessageNet {
         assert_eq!(r, self.bc.r(), "one agent per home-base");
         let mut registry = ColorRegistry::new(self.seed);
         let colors = registry.fresh_many(r);
-        let mut boards: Vec<Whiteboard> =
-            (0..self.bc.n()).map(|_| Whiteboard::new()).collect();
+        let mut boards: Vec<Whiteboard> = (0..self.bc.n()).map(|_| Whiteboard::new()).collect();
         for (i, &hb) in self.bc.homebases().iter().enumerate() {
             boards[hb].post(Sign::tag(colors[i], SignKind::HomeBase));
         }
@@ -226,7 +220,11 @@ impl MessageNet {
             .map(|(i, _)| i)
             .collect();
         NetReport {
-            leader: if leaders.len() == 1 { Some(leaders[0]) } else { None },
+            leader: if leaders.len() == 1 {
+                Some(leaders[0])
+            } else {
+                None
+            },
             outcomes,
             colors,
             deliveries,
@@ -275,7 +273,11 @@ mod tests {
                 Box::new(Racer { hops: 0 }),
                 Box::new(Racer { hops: 0 }),
             ]);
-            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+            assert!(
+                report.clean_election(),
+                "seed {seed}: {:?}",
+                report.outcomes
+            );
             assert!(!report.deadlocked);
         }
     }
@@ -326,8 +328,8 @@ mod tests {
         let bc = Bicolored::new(families::cycle(3).unwrap(), &[0]).unwrap();
         let mut reg = ColorRegistry::new(5);
         let c = reg.fresh();
-        let net = MessageNet::new(bc, 1)
-            .with_premark(vec![(0, Sign::tag(c, SignKind::Custom(42)))]);
+        let net =
+            MessageNet::new(bc, 1).with_premark(vec![(0, Sign::tag(c, SignKind::Custom(42)))]);
         let report = net.run(vec![Box::new(Checker)]);
         assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
     }

@@ -74,10 +74,7 @@ pub struct LockstepScheduler {
 
 impl Scheduler for LockstepScheduler {
     fn pick(&mut self, ready: &[usize], _tick: u64) -> usize {
-        if let Some(&a) = ready
-            .iter()
-            .find(|a| !self.served_this_round.contains(a))
-        {
+        if let Some(&a) = ready.iter().find(|a| !self.served_this_round.contains(a)) {
             self.served_this_round.push(a);
             return a;
         }
@@ -135,12 +132,22 @@ pub struct ReplayScheduler {
 impl ReplayScheduler {
     /// Lenient replayer for `schedule`.
     pub fn new(schedule: Vec<usize>) -> ReplayScheduler {
-        ReplayScheduler { schedule, pos: 0, strict: false, diverged: None }
+        ReplayScheduler {
+            schedule,
+            pos: 0,
+            strict: false,
+            diverged: None,
+        }
     }
 
     /// Strict replayer: panic on the first divergence.
     pub fn strict(schedule: Vec<usize>) -> ReplayScheduler {
-        ReplayScheduler { schedule, pos: 0, strict: true, diverged: None }
+        ReplayScheduler {
+            schedule,
+            pos: 0,
+            strict: true,
+            diverged: None,
+        }
     }
 
     /// First tick where the scheduled agent was not ready, if any.
@@ -262,7 +269,12 @@ mod tests {
 
     #[test]
     fn policy_builders() {
-        for p in [Policy::Random, Policy::RoundRobin, Policy::Lockstep, Policy::GreedyLowest] {
+        for p in [
+            Policy::Random,
+            Policy::RoundRobin,
+            Policy::Lockstep,
+            Policy::GreedyLowest,
+        ] {
             let s = p.build(1);
             assert_eq!(s.name(), p.name(), "Policy::name matches its scheduler");
         }

@@ -59,12 +59,20 @@ pub struct Sign {
 impl Sign {
     /// A payload-less sign.
     pub fn tag(color: Color, kind: SignKind) -> Sign {
-        Sign { color, kind, payload: Vec::new() }
+        Sign {
+            color,
+            kind,
+            payload: Vec::new(),
+        }
     }
 
     /// A sign with payload.
     pub fn with_payload(color: Color, kind: SignKind, payload: Vec<u64>) -> Sign {
-        Sign { color, kind, payload }
+        Sign {
+            color,
+            kind,
+            payload,
+        }
     }
 
     /// First payload word, if any.

@@ -57,7 +57,12 @@ pub fn drive<C: MobileCtx>(
         let entry = ctx.entry();
         let color = ctx.color();
         let (action, version) = ctx.with_board(|wb| {
-            let mut env = StepEnv { color, degree, entry, board: wb };
+            let mut env = StepEnv {
+                color,
+                degree,
+                entry,
+                board: wb,
+            };
             let action = agent.step(&mut env);
             (action, wb.version())
         })?;
@@ -143,8 +148,7 @@ mod tests {
     fn stay_parks_until_board_changes() {
         let bc = Bicolored::new(families::cycle(4).unwrap(), &[0, 2]).unwrap();
         let sleeper: GatedAgent = Box::new(|ctx| drive(&mut Sleeper, ctx));
-        let announcer: GatedAgent =
-            Box::new(|ctx| drive(&mut Announcer { remaining: 4 }, ctx));
+        let announcer: GatedAgent = Box::new(|ctx| drive(&mut Announcer { remaining: 4 }, ctx));
         let report = run_gated(&bc, RunConfig::default(), vec![sleeper, announcer]);
         assert!(report.clean_election(), "{:?}", report.outcomes);
     }

@@ -69,7 +69,9 @@ impl Whiteboard {
 
     /// Whether a sign of this kind and color exists.
     pub fn has(&self, kind: SignKind, color: Color) -> bool {
-        self.signs.iter().any(|s| s.kind == kind && s.color == color)
+        self.signs
+            .iter()
+            .any(|s| s.kind == kind && s.color == color)
     }
 
     /// Whether a sign of this kind, color and leading payload word exists.

@@ -16,8 +16,11 @@ fn bench_recording_overhead(c: &mut Criterion) {
             &bc,
             |b, bc| {
                 b.iter(|| {
-                    let cfg =
-                        RunConfig { seed: 1, record_trace: record, ..RunConfig::default() };
+                    let cfg = RunConfig {
+                        seed: 1,
+                        record_trace: record,
+                        ..RunConfig::default()
+                    };
                     let report = run_elect(bc, cfg);
                     assert!(report.clean_election());
                     report.metrics.steps
@@ -31,7 +34,10 @@ fn bench_recording_overhead(c: &mut Criterion) {
 fn bench_strict_replay(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore/strict-replay");
     let bc = Bicolored::new(families::cycle(8).unwrap(), &[0, 1, 3]).unwrap();
-    let cfg = RunConfig { seed: 1, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: 1,
+        ..RunConfig::default()
+    };
     let (original, trace) = run_elect_recorded(&bc, cfg, "bench witness");
     assert!(original.clean_election());
     group.bench_function("replay", |b| {
@@ -56,7 +62,10 @@ fn bench_bounded_exploration(c: &mut Criterion) {
                     swarm_runs: 0,
                     swarm_seed: 1,
                 };
-                let cfg = RunConfig { seed: 1, ..RunConfig::default() };
+                let cfg = RunConfig {
+                    seed: 1,
+                    ..RunConfig::default()
+                };
                 let report = explore_elect(bc, cfg, &ecfg);
                 assert!(report.passed());
                 report.schedules_explored

@@ -33,8 +33,9 @@ fn bench_engines(c: &mut Criterion) {
         let bc = Bicolored::new(families::cycle(16).unwrap(), &hbs).unwrap();
         group.bench_with_input(BenchmarkId::new("gated", r), &bc, |b, bc| {
             b.iter(|| {
-                let agents: Vec<GatedAgent> =
-                    (0..bc.r()).map(|_| -> GatedAgent { Box::new(workload) }).collect();
+                let agents: Vec<GatedAgent> = (0..bc.r())
+                    .map(|_| -> GatedAgent { Box::new(workload) })
+                    .collect();
                 let report = run_gated(bc, RunConfig::default(), agents);
                 assert!(report.interrupted.is_none());
                 report.metrics.total_moves()
@@ -42,8 +43,9 @@ fn bench_engines(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("free", r), &bc, |b, bc| {
             b.iter(|| {
-                let agents: Vec<FreeAgent> =
-                    (0..bc.r()).map(|_| -> FreeAgent { Box::new(workload) }).collect();
+                let agents: Vec<FreeAgent> = (0..bc.r())
+                    .map(|_| -> FreeAgent { Box::new(workload) })
+                    .collect();
                 let report = run_free(bc, FreeRunConfig::default(), agents);
                 assert!(report.interrupted.is_none());
                 report.metrics.total_moves()

@@ -21,7 +21,10 @@ fn bench_policies(c: &mut Criterion) {
             &bc,
             |b, bc| {
                 b.iter(|| {
-                    let cfg = RunConfig { policy, ..RunConfig::default() };
+                    let cfg = RunConfig {
+                        policy,
+                        ..RunConfig::default()
+                    };
                     let report = run_elect(bc, cfg);
                     assert!(report.clean_election());
                     report.metrics.steps
@@ -41,7 +44,10 @@ fn bench_port_scrambling(c: &mut Criterion) {
             &bc,
             |b, bc| {
                 b.iter(|| {
-                    let cfg = RunConfig { scramble_ports: scramble, ..RunConfig::default() };
+                    let cfg = RunConfig {
+                        scramble_ports: scramble,
+                        ..RunConfig::default()
+                    };
                     let report = run_elect(bc, cfg);
                     assert!(report.clean_election());
                     report.metrics.total_work()

@@ -22,8 +22,16 @@ fn workload(trials: usize, workers: usize) -> SweepConfig {
         seed0: 0,
         repeats: 4,
         buckets: vec![
-            SweepBucket { n_lo: 22, n_hi: 28, p: 0.1 },
-            SweepBucket { n_lo: 28, n_hi: 36, p: 0.08 },
+            SweepBucket {
+                n_lo: 22,
+                n_hi: 28,
+                p: 0.1,
+            },
+            SweepBucket {
+                n_lo: 28,
+                n_hi: 36,
+                p: 0.08,
+            },
         ],
     }
 }
@@ -63,7 +71,10 @@ fn report_speedup(_c: &mut Criterion) {
     let fast = run_sweep(&workload(12, workers));
     let cached = t1.elapsed();
 
-    assert!(base.all_agree() && fast.all_agree(), "oracle disagreement in bench");
+    assert!(
+        base.all_agree() && fast.all_agree(),
+        "oracle disagreement in bench"
+    );
     let speedup = uncached.as_secs_f64() / cached.as_secs_f64().max(1e-9);
     println!(
         "BENCH sweep speedup: {speedup:.2}x ({uncached:.2?} 1-thread-uncached → \

@@ -32,8 +32,16 @@ fn bench_marking(c: &mut Criterion) {
     let mut group = c.benchmark_group("theory/thm41-marking");
     let cases: Vec<(&str, CayleyGraph, Vec<usize>)> = vec![
         ("C12-antipodal", CayleyGraph::cycle(12).unwrap(), vec![0, 6]),
-        ("Q4-antipodal", CayleyGraph::hypercube(4).unwrap(), vec![0, 15]),
-        ("torus4x4", CayleyGraph::torus(&[4, 4]).unwrap(), vec![0, 10]),
+        (
+            "Q4-antipodal",
+            CayleyGraph::hypercube(4).unwrap(),
+            vec![0, 15],
+        ),
+        (
+            "torus4x4",
+            CayleyGraph::torus(&[4, 4]).unwrap(),
+            vec![0, 10],
+        ),
     ];
     for (label, cg, hbs) in cases {
         group.bench_with_input(

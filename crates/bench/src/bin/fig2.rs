@@ -10,9 +10,7 @@
 //!   view although the label-equivalence classes are singletons — the
 //!   converse of Equation 1 fails.
 
-use qelect_graph::view::{
-    first_seen_code, path_walk_symbols, view_partition, ViewTree,
-};
+use qelect_graph::view::{first_seen_code, path_walk_symbols, view_partition, ViewTree};
 use qelect_graph::{families, symmetricity, Bicolored, GraphBuilder, Port};
 
 fn main() {
@@ -23,9 +21,8 @@ fn main() {
     b.add_edge_with_ports(0, 1, Port(1), Port(1)).unwrap();
     b.add_edge_with_ports(1, 2, Port(2), Port(1)).unwrap();
     let quant = Bicolored::new(b.finish().unwrap(), &[]).unwrap();
-    let mut views: Vec<(usize, ViewTree)> = (0..3)
-        .map(|v| (v, ViewTree::build(&quant, v, 2)))
-        .collect();
+    let mut views: Vec<(usize, ViewTree)> =
+        (0..3).map(|v| (v, ViewTree::build(&quant, v, 2))).collect();
     views.sort_by(|a, b| a.1.cmp(&b.1));
     println!("(a) quantitative path x–y–z:");
     println!("    all views distinct: {}", {
@@ -46,8 +43,14 @@ fn main() {
     let from_x = path_walk_symbols(&qual, 0);
     let from_z = path_walk_symbols(&qual, 2);
     println!("\n(b) qualitative path with symbols *, o, •:");
-    println!("    agent a_x reads {from_x:?}  → code {:?}", first_seen_code(&from_x));
-    println!("    agent a_z reads {from_z:?}  → code {:?}", first_seen_code(&from_z));
+    println!(
+        "    agent a_x reads {from_x:?}  → code {:?}",
+        first_seen_code(&from_x)
+    );
+    println!(
+        "    agent a_z reads {from_z:?}  → code {:?}",
+        first_seen_code(&from_z)
+    );
     println!(
         "    sequences differ: {} — but codes collide: {}",
         from_x != from_z,

@@ -26,7 +26,10 @@ fn main() {
     let oc = ordered_classes(&bc);
     let mut sizes: Vec<usize> = oc.classes.iter().map(|c| c.len()).collect();
     sizes.sort_unstable();
-    println!("equivalence class sizes: {sizes:?}  (gcd = {})", oc.gcd_of_sizes());
+    println!(
+        "equivalence class sizes: {sizes:?}  (gcd = {})",
+        oc.gcd_of_sizes()
+    );
 
     let rec = regular_subgroups(&g, RecognitionBudget::default());
     println!(
@@ -38,7 +41,10 @@ fn main() {
 
     println!("\n{}", header(&["protocol", "seed/policy", "outcome"]));
     for seed in 0..4u64 {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let elect = run_elect(&bc, cfg);
         println!(
             "{}",
@@ -53,8 +59,16 @@ fn main() {
             ])
         );
     }
-    for policy in [Policy::Random, Policy::RoundRobin, Policy::Lockstep, Policy::GreedyLowest] {
-        let cfg = RunConfig { policy, ..RunConfig::default() };
+    for policy in [
+        Policy::Random,
+        Policy::RoundRobin,
+        Policy::Lockstep,
+        Policy::GreedyLowest,
+    ] {
+        let cfg = RunConfig {
+            policy,
+            ..RunConfig::default()
+        };
         let bespoke = run_petersen(&bc, cfg);
         println!(
             "{}",

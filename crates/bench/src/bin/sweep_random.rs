@@ -28,7 +28,11 @@ fn main() {
         "# Random-instance sweep — ELECT vs gcd oracle ({trials} trials/bucket, \
          {workers} workers)\n"
     );
-    let cfg = SweepConfig { trials, workers, ..SweepConfig::default() };
+    let cfg = SweepConfig {
+        trials,
+        workers,
+        ..SweepConfig::default()
+    };
     let report = run_sweep(&cfg);
     print!("{}", report.render());
     assert!(report.all_agree(), "ELECT disagreed with the gcd oracle");

@@ -13,7 +13,7 @@
 
 use qelect::anonymous::run_ring_probe;
 use qelect::prelude::*;
-use qelect::solvability::{election_possible_cayley, elect_succeeds, impossible_by_thm21};
+use qelect::solvability::{elect_succeeds, election_possible_cayley, impossible_by_thm21};
 use qelect_agentsim::sched::Policy;
 use qelect_agentsim::AgentOutcome;
 use qelect_bench::{header, row, standard_suite};
@@ -25,7 +25,10 @@ fn main() {
 
     // ---- Anonymous agents: the §1.3 counterexample ----
     let c6 = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
-    let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+    let cfg = RunConfig {
+        policy: Policy::Lockstep,
+        ..RunConfig::default()
+    };
     let anon = run_ring_probe(&c6, cfg);
     let anon_leaders = anon
         .outcomes
@@ -36,7 +39,11 @@ fn main() {
     println!(
         "anonymous agents, C6 antipodal twins under lockstep: {} leaders → protocol violation {}",
         anon_leaders,
-        if anonymous_broken { "reproduced" } else { "NOT reproduced (!)" }
+        if anonymous_broken {
+            "reproduced"
+        } else {
+            "NOT reproduced (!)"
+        }
     );
 
     // ---- Qualitative: K2 kills universality ----
@@ -46,7 +53,11 @@ fn main() {
     println!(
         "qualitative agents, K2 pair: Thm 2.1 impossible = {}, ELECT verdict = {}",
         k2_impossible,
-        if k2_elect.unanimous_unsolvable() { "unsolvable (correct)" } else { "unexpected" }
+        if k2_elect.unanimous_unsolvable() {
+            "unsolvable (correct)"
+        } else {
+            "unexpected"
+        }
     );
 
     // ---- Qualitative × effectual(Cayley): full sweep ----
@@ -97,14 +108,36 @@ fn main() {
     println!(
         "qualitative agents, Petersen pair: ELECT {}, bespoke protocol {} (ELECT not effectual \
          on arbitrary graphs; existence of an effectual protocol was the paper's Open Problem 1)",
-        if pet_elect.unanimous_unsolvable() { "fails" } else { "unexpected" },
-        if pet_bespoke.clean_election() { "elects" } else { "unexpected" },
+        if pet_elect.unanimous_unsolvable() {
+            "fails"
+        } else {
+            "unexpected"
+        },
+        if pet_bespoke.clean_election() {
+            "elects"
+        } else {
+            "unexpected"
+        },
     );
     let _ = elect_succeeds(&pet);
 
     // ---- The table ----
-    println!("\n{}", header(&["Agents", "Universal", "Effectual (arbitrary)", "Effectual (Cayley)"]));
-    let cell = |b: bool| if b { "No".to_string() } else { "??".to_string() };
+    println!(
+        "\n{}",
+        header(&[
+            "Agents",
+            "Universal",
+            "Effectual (arbitrary)",
+            "Effectual (Cayley)"
+        ])
+    );
+    let cell = |b: bool| {
+        if b {
+            "No".to_string()
+        } else {
+            "??".to_string()
+        }
+    };
     println!(
         "{}",
         row(&[
@@ -118,16 +151,28 @@ fn main() {
         "{}",
         row(&[
             "Qualitative".into(),
-            if k2_impossible { "No".into() } else { "??".into() },
+            if k2_impossible {
+                "No".into()
+            } else {
+                "??".into()
+            },
             "?".into(),
-            if cayley_agree == cayley_total && gray == 0 { "Yes".into() } else { "??".into() },
+            if cayley_agree == cayley_total && gray == 0 {
+                "Yes".into()
+            } else {
+                "??".into()
+            },
         ])
     );
     println!(
         "{}",
         row(&[
             "Quantitative".into(),
-            if quant_ok == suite.len() { "Yes".into() } else { "??".into() },
+            if quant_ok == suite.len() {
+                "Yes".into()
+            } else {
+                "??".into()
+            },
             "Yes".into(),
             "Yes".into(),
         ])

@@ -104,8 +104,18 @@ fn main() {
         ("C8".into(), families::cycle(8).unwrap(), 2, true),
         ("K4".into(), families::complete(4).unwrap(), 3, true),
         ("Q3".into(), families::hypercube(3).unwrap(), 2, true),
-        ("Torus3x3".into(), families::torus(&[3, 3]).unwrap(), 2, false),
-        ("StarGraph S3".into(), families::star_graph(3).unwrap(), 2, true),
+        (
+            "Torus3x3".into(),
+            families::torus(&[3, 3]).unwrap(),
+            2,
+            false,
+        ),
+        (
+            "StarGraph S3".into(),
+            families::star_graph(3).unwrap(),
+            2,
+            true,
+        ),
     ];
     for (label, g, max_r, run_protocol) in cases {
         let res = sweep(&g, max_r, run_protocol);

@@ -13,7 +13,16 @@ fn main() {
     println!("# Theorem 3.1 — measured cost of protocol ELECT\n");
     println!(
         "{}",
-        header(&["instance", "n", "|E|", "r", "moves", "accesses", "work", "work/(r·|E|)"])
+        header(&[
+            "instance",
+            "n",
+            "|E|",
+            "r",
+            "moves",
+            "accesses",
+            "work",
+            "work/(r·|E|)"
+        ])
     );
 
     let mut ratios: Vec<f64> = Vec::new();
@@ -55,16 +64,18 @@ fn main() {
     let bc = Bicolored::new(families::cycle(12).unwrap(), &[0, 1, 3]).unwrap();
     let report = run_elect(&bc, RunConfig::default());
     println!("\n## Phase breakdown (C12, r = 3, agent 0 checkpoints)\n");
-    println!("{}", header(&["checkpoint", "cumulative moves", "cumulative accesses"]));
-    for cp in report
-        .metrics
-        .checkpoints
-        .iter()
-        .filter(|c| c.agent == 0)
-    {
+    println!(
+        "{}",
+        header(&["checkpoint", "cumulative moves", "cumulative accesses"])
+    );
+    for cp in report.metrics.checkpoints.iter().filter(|c| c.agent == 0) {
         println!(
             "{}",
-            row(&[cp.label.clone(), cp.moves.to_string(), cp.accesses.to_string()])
+            row(&[
+                cp.label.clone(),
+                cp.moves.to_string(),
+                cp.accesses.to_string()
+            ])
         );
     }
 

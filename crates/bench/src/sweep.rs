@@ -62,9 +62,21 @@ impl SweepBucket {
 /// The E5-style default buckets (mirrors the historical `sweep_random`).
 pub fn default_buckets() -> Vec<SweepBucket> {
     vec![
-        SweepBucket { n_lo: 5, n_hi: 8, p: 0.2 },
-        SweepBucket { n_lo: 8, n_hi: 12, p: 0.3 },
-        SweepBucket { n_lo: 12, n_hi: 16, p: 0.15 },
+        SweepBucket {
+            n_lo: 5,
+            n_hi: 8,
+            p: 0.2,
+        },
+        SweepBucket {
+            n_lo: 8,
+            n_hi: 12,
+            p: 0.3,
+        },
+        SweepBucket {
+            n_lo: 12,
+            n_hi: 16,
+            p: 0.15,
+        },
     ]
 }
 
@@ -268,7 +280,10 @@ impl StealPool {
         for task in 0..tasks {
             queues[task % workers].lock().push_back(task);
         }
-        StealPool { queues, remaining: AtomicUsize::new(tasks) }
+        StealPool {
+            queues,
+            remaining: AtomicUsize::new(tasks),
+        }
     }
 
     /// Pop my own queue front, else steal from a victim's back.
@@ -408,7 +423,11 @@ mod tests {
             workers,
             seed0: 0,
             repeats: 2,
-            buckets: vec![SweepBucket { n_lo: 5, n_hi: 8, p: 0.2 }],
+            buckets: vec![SweepBucket {
+                n_lo: 5,
+                n_hi: 8,
+                p: 0.2,
+            }],
         }
     }
 

@@ -11,8 +11,8 @@
 
 /// MPSC channels with the crossbeam-channel surface the workspace uses.
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
     pub use std::sync::mpsc::{Receiver, Sender};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
     /// An unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {

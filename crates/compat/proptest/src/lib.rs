@@ -69,7 +69,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seed from a raw value.
     pub fn new(seed: u64) -> TestRng {
-        let mut rng = TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+        let mut rng = TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        };
         rng.next_u64();
         rng
     }
@@ -231,18 +233,18 @@ macro_rules! impl_tuple_strategy {
         }
     };
 }
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 /// Everything a property test needs in scope.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Just,
-        ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult, TestRng,
     };
 }
 

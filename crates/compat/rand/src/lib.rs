@@ -140,7 +140,9 @@ pub mod rngs {
         fn seed_from_u64(seed: u64) -> StdRng {
             // Pre-scramble so that small, correlated seeds (0, 1, 2, …)
             // land far apart in the state space.
-            let mut s = StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 };
+            let mut s = StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
             s.next_u64();
             s
         }

@@ -40,10 +40,7 @@ pub fn ring_probe<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> 
             .find(|&p| Some(p) != entry)
             .expect("ring nodes have degree 2");
         ctx.move_via(fwd)?;
-        let marked = ctx
-            .read_board()?
-            .iter()
-            .any(|s| s.kind == PROBE_MARK);
+        let marked = ctx.read_board()?.iter().any(|s| s.kind == PROBE_MARK);
         if marked {
             // "That is my mark — I have circled the whole ring alone."
             return Ok(AgentOutcome::Leader);
@@ -82,7 +79,10 @@ pub fn shared_color(seed: u64) -> qelect_agentsim::Color {
 /// `n` must be even and ≥ 4 so that the antipodal placement is
 /// symmetric.
 pub fn ring_probe_counterexample(n: usize) -> (Bicolored, qelect_agentsim::Trace) {
-    assert!(n >= 4 && n.is_multiple_of(2), "need an even cycle for the antipodal twins");
+    assert!(
+        n >= 4 && n.is_multiple_of(2),
+        "need an even cycle for the antipodal twins"
+    );
     let bc = Bicolored::new(
         qelect_graph::families::cycle(n).expect("cycle builds"),
         &[0, n / 2],
@@ -129,23 +129,32 @@ mod tests {
         // finds the other's indistinguishable mark, and both elect
         // themselves — two leaders, protocol violated.
         let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
-        let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+        let cfg = RunConfig {
+            policy: Policy::Lockstep,
+            ..RunConfig::default()
+        };
         let report = run_ring_probe(&bc, cfg);
         let leaders = report
             .outcomes
             .iter()
             .filter(|o| **o == AgentOutcome::Leader)
             .count();
-        assert_eq!(leaders, 2, "symmetry forces a double election: {:?}", report.outcomes);
+        assert_eq!(
+            leaders, 2,
+            "symmetry forces a double election: {:?}",
+            report.outcomes
+        );
         assert!(!report.clean_election());
     }
 
     #[test]
     fn violation_shows_under_many_symmetric_lengths() {
         for n in [4usize, 6, 8, 10] {
-            let bc =
-                Bicolored::new(families::cycle(n).unwrap(), &[0, n / 2]).unwrap();
-            let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+            let bc = Bicolored::new(families::cycle(n).unwrap(), &[0, n / 2]).unwrap();
+            let cfg = RunConfig {
+                policy: Policy::Lockstep,
+                ..RunConfig::default()
+            };
             let report = run_ring_probe(&bc, cfg);
             let leaders = report
                 .outcomes

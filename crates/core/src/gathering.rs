@@ -85,7 +85,10 @@ mod tests {
     fn gathering_succeeds_where_election_does() {
         let bc = Bicolored::new(families::cycle(7).unwrap(), &[0, 1, 3]).unwrap();
         for seed in [1, 2, 3] {
-            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::default()
+            };
             let report = run_gather(&bc, cfg);
             assert!(
                 report.clean_election(),

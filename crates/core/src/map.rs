@@ -144,11 +144,8 @@ impl AgentMap {
             }
         }
         let homes: Vec<usize> = self.homebases().iter().map(|&(v, _)| v).collect();
-        Bicolored::new(
-            b.finish().expect("a complete map is connected"),
-            &homes,
-        )
-        .expect("home-bases are valid map nodes")
+        Bicolored::new(b.finish().expect("a complete map is connected"), &homes)
+            .expect("home-bases are valid map nodes")
     }
 
     /// Shortest route (sequence of local ports) from `from` to `to`.
@@ -195,12 +192,7 @@ impl AgentMap {
         let mut visited = vec![false; n];
         let mut route = Vec::new();
         // Iterative DFS over tree edges.
-        fn dfs(
-            map: &AgentMap,
-            v: usize,
-            visited: &mut Vec<bool>,
-            route: &mut Vec<LocalPort>,
-        ) {
+        fn dfs(map: &AgentMap, v: usize, visited: &mut Vec<bool>, route: &mut Vec<LocalPort>) {
             visited[v] = true;
             for (p, e) in map.adj[v].iter().enumerate() {
                 let e = e.expect("complete map");

@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn elects_one_leader() {
         for seed in 0..6 {
-            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::default()
+            };
             let report = run_petersen(&petersen_pair(), cfg);
             assert!(
                 report.clean_election(),
@@ -165,13 +168,12 @@ mod tests {
     #[test]
     fn elects_under_adversarial_schedulers() {
         for policy in [Policy::Lockstep, Policy::RoundRobin, Policy::GreedyLowest] {
-            let cfg = RunConfig { policy, ..RunConfig::default() };
+            let cfg = RunConfig {
+                policy,
+                ..RunConfig::default()
+            };
             let report = run_petersen(&petersen_pair(), cfg);
-            assert!(
-                report.clean_election(),
-                "{policy:?}: {:?}",
-                report.outcomes
-            );
+            assert!(report.clean_election(), "{policy:?}: {:?}", report.outcomes);
         }
     }
 

@@ -24,15 +24,10 @@ use qelect_graph::Bicolored;
 pub const ID_SIGN: SignKind = SignKind::Custom(1);
 
 /// The universal quantitative protocol, run by an agent with label `id`.
-pub fn quantitative_elect<C: MobileCtx>(
-    ctx: &mut C,
-    id: u64,
-) -> Result<AgentOutcome, Interrupt> {
+pub fn quantitative_elect<C: MobileCtx>(ctx: &mut C, id: u64) -> Result<AgentOutcome, Interrupt> {
     // Publish my label before anything else.
     let me = ctx.color();
-    ctx.with_board(move |wb| {
-        wb.post(qelect_agentsim::Sign::with_payload(me, ID_SIGN, vec![id]))
-    })?;
+    ctx.with_board(move |wb| wb.post(qelect_agentsim::Sign::with_payload(me, ID_SIGN, vec![id])))?;
     // Phase 1: traverse and collect.
     let map = map_drawing(ctx)?;
     ctx.checkpoint("map-drawing done");
@@ -84,7 +79,10 @@ mod tests {
     use qelect_graph::families;
 
     fn check(bc: &Bicolored, ids: &[u64], seed: u64) -> RunReport {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_quantitative(bc, cfg, ids);
         assert!(
             report.clean_election(),
@@ -139,6 +137,9 @@ mod tests {
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_quantitative(&bc, RunConfig::default(), &[5, 5])
         }));
-        assert!(result.is_err(), "distinctness is required (the paper's first failure mode)");
+        assert!(
+            result.is_err(),
+            "distinctness is required (the paper's first failure mode)"
+        );
     }
 }

@@ -115,7 +115,13 @@ pub fn node_rounds(agents: usize, nodes: usize) -> Vec<NodeRound> {
                 q -= 1;
                 rho = beta;
             }
-            rounds.push(NodeRound { alpha, beta, q, rho, agents_exceed_nodes: true });
+            rounds.push(NodeRound {
+                alpha,
+                beta,
+                q,
+                rho,
+                agents_exceed_nodes: true,
+            });
             alpha = rho;
         } else {
             let mut q = beta / alpha;
@@ -124,7 +130,13 @@ pub fn node_rounds(agents: usize, nodes: usize) -> Vec<NodeRound> {
                 q -= 1;
                 rho = alpha;
             }
-            rounds.push(NodeRound { alpha, beta, q, rho, agents_exceed_nodes: false });
+            rounds.push(NodeRound {
+                alpha,
+                beta,
+                q,
+                rho,
+                agents_exceed_nodes: false,
+            });
             beta = rho;
         }
     }
@@ -151,7 +163,9 @@ impl Schedule {
                 class_index: i,
                 d_in: d,
                 d_out: gcd(d, c),
-                kind: PhaseKind::AgentAgent { rounds: agent_rounds(d, c) },
+                kind: PhaseKind::AgentAgent {
+                    rounds: agent_rounds(d, c),
+                },
             });
             d = gcd(d, c);
         }
@@ -166,11 +180,18 @@ impl Schedule {
                 class_index: i,
                 d_in: d,
                 d_out: gcd(d, c),
-                kind: PhaseKind::AgentNode { rounds: node_rounds(d, c) },
+                kind: PhaseKind::AgentNode {
+                    rounds: node_rounds(d, c),
+                },
             });
             d = gcd(d, c);
         }
-        Schedule { class_sizes: class_sizes.to_vec(), ell, phases, final_d: d }
+        Schedule {
+            class_sizes: class_sizes.to_vec(),
+            ell,
+            phases,
+            final_d: d,
+        }
     }
 
     /// Whether the schedule ends in a successful election.
@@ -285,10 +306,10 @@ mod tests {
     #[test]
     fn gcd_one_vs_gcd_many_vectors() {
         let cases: &[(&[usize], usize)] = &[
-            (&[2, 3], 1),         // ℓ=1: one agent-node phase reaches 1
-            (&[4, 9, 6], 1),      // reaches 1 mid-schedule, stops early
+            (&[2, 3], 1),    // ℓ=1: one agent-node phase reaches 1
+            (&[4, 9, 6], 1), // reaches 1 mid-schedule, stops early
             (&[3, 5, 7], 1),
-            (&[2, 4], 2),         // C6 antipodal shape
+            (&[2, 4], 2), // C6 antipodal shape
             (&[4, 6, 8], 2),
             (&[6, 9, 12], 3),
             (&[4, 8, 12], 4),
@@ -321,7 +342,11 @@ mod tests {
     /// before any phase runs.
     #[test]
     fn all_equal_size_vectors() {
-        for (sizes, ell) in [(vec![2usize, 2, 2], 1), (vec![3, 3], 1), (vec![4, 4, 4, 4], 2)] {
+        for (sizes, ell) in [
+            (vec![2usize, 2, 2], 1),
+            (vec![3, 3], 1),
+            (vec![4, 4, 4, 4], 2),
+        ] {
             let s = Schedule::from_class_sizes(&sizes, ell);
             assert_eq!(s.final_d, sizes[0], "{sizes:?}");
             assert!(!s.elects());

@@ -73,7 +73,7 @@ pub fn consistent_verdicts(bc: &Bicolored, labeling_cap: usize) -> bool {
     let thm21 = impossible_by_thm21(bc, labeling_cap);
     let cayley = election_possible_cayley(bc, RecognitionBudget::default());
     match (thm21, cayley) {
-        (Some(true), Some(true)) => false,   // impossible but "possible": bug
+        (Some(true), Some(true)) => false, // impossible but "possible": bug
         (Some(false), Some(false)) => false, // possible but "impossible": bug
         _ => true,
     }
@@ -163,11 +163,7 @@ mod tests {
             for r in 1..=n {
                 for bc in Bicolored::all_placements(&g, r) {
                     let v = election_possible_cayley(&bc, RecognitionBudget::default());
-                    assert!(
-                        v.is_some(),
-                        "gray zone hit: C{n} with {:?}",
-                        bc.homebases()
-                    );
+                    assert!(v.is_some(), "gray zone hit: C{n} with {:?}", bc.homebases());
                 }
             }
         }

@@ -29,7 +29,7 @@
 //! isomorphism-invariant) map, all agents reach the same verdict; no
 //! extra communication is needed for the impossibility branch.
 
-use crate::elect::{elect_from_view, compute_local_view};
+use crate::elect::{compute_local_view, elect_from_view};
 use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
 use qelect_agentsim::{AgentOutcome, Interrupt, MobileCtx};
 use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
@@ -52,10 +52,7 @@ pub enum CayleyVerdict {
 
 /// Analyze a drawn map: Cayley recognition + per-subgroup translation
 /// gcds. `homebases` are map-node indices of the home-bases.
-pub fn analyze_cayley(
-    bc: &qelect_graph::Bicolored,
-    budget: RecognitionBudget,
-) -> CayleyVerdict {
+pub fn analyze_cayley(bc: &qelect_graph::Bicolored, budget: RecognitionBudget) -> CayleyVerdict {
     let rec = regular_subgroups(bc.graph(), budget);
     match rec.is_cayley() {
         None => CayleyVerdict::Inconclusive,
@@ -124,7 +121,10 @@ mod tests {
     use qelect_graph::{families, Bicolored};
 
     fn run(bc: &Bicolored, seed: u64) -> RunReport {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         run_translation_elect(bc, cfg)
     }
 

@@ -115,7 +115,10 @@ mod tests {
         let bc = Bicolored::new(g, &[0, 3]).unwrap();
         // Guard: the two home-bases really have distinct views now.
         let part = qelect_graph::view::view_partition(&bc);
-        assert_ne!(part.class[0], part.class[3], "labeling must split the homes");
+        assert_ne!(
+            part.class[0], part.class[3],
+            "labeling must split the homes"
+        );
         let report = run_view_elect(&bc, RunConfig::default());
         assert!(
             report.clean_election(),
@@ -135,7 +138,10 @@ mod tests {
     fn agrees_with_symmetricity_oracle() {
         // Verdict ⟺ the home-bases' views are pairwise distinct at least
         // at the minimum — cross-check against the view partition.
-        for (hbs, _label) in [(vec![0usize, 2], "C8 distance-2"), (vec![0, 4], "C8 antipodal")] {
+        for (hbs, _label) in [
+            (vec![0usize, 2], "C8 distance-2"),
+            (vec![0, 4], "C8 antipodal"),
+        ] {
             let bc = Bicolored::new(families::cycle(8).unwrap(), &hbs).unwrap();
             let part = qelect_graph::view::view_partition(&bc);
             let mut classes: Vec<u32> = hbs.iter().map(|&h| part.class[h]).collect();
@@ -146,7 +152,11 @@ mod tests {
             if distinct {
                 assert!(report.clean_election(), "{hbs:?}: {:?}", report.outcomes);
             } else {
-                assert!(report.unanimous_unsolvable(), "{hbs:?}: {:?}", report.outcomes);
+                assert!(
+                    report.unanimous_unsolvable(),
+                    "{hbs:?}: {:?}",
+                    report.outcomes
+                );
             }
         }
     }

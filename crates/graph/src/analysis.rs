@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn paths_are_not_srg() {
-        assert_eq!(strongly_regular_parameters(&families::path(4).unwrap()), None);
+        assert_eq!(
+            strongly_regular_parameters(&families::path(4).unwrap()),
+            None
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ use crate::refine::Partition;
 pub fn node_equivalence(bc: &Bicolored) -> Partition {
     let d = ColoredDigraph::from_bicolored(bc);
     let r = canonicalize(&d);
-    Partition { class: r.orbits.clone(), k: r.orbit_count }
+    Partition {
+        class: r.orbits.clone(),
+        k: r.orbit_count,
+    }
 }
 
 /// Full canonicalization result for the color-preserving structure
@@ -34,7 +37,10 @@ pub fn node_equivalence_full(bc: &Bicolored) -> CanonResult {
 pub fn label_equivalence(bc: &Bicolored) -> Partition {
     let d = ColoredDigraph::from_port_labeled(bc);
     let r = canonicalize(&d);
-    Partition { class: r.orbits.clone(), k: r.orbit_count }
+    Partition {
+        class: r.orbits.clone(),
+        k: r.orbit_count,
+    }
 }
 
 /// Lemma 2.1: every `~lab` class has the same size. Returns that common

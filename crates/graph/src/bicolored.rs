@@ -46,7 +46,11 @@ impl Bicolored {
             }
             black[v] = true;
         }
-        Ok(Bicolored { graph, black, homebases: hb })
+        Ok(Bicolored {
+            graph,
+            black,
+            homebases: hb,
+        })
     }
 
     /// The underlying network.

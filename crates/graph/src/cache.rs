@@ -131,7 +131,11 @@ struct Shard<V> {
 
 impl<V> Shard<V> {
     fn new() -> Self {
-        Shard { chains: HashMap::new(), order: VecDeque::new(), len: 0 }
+        Shard {
+            chains: HashMap::new(),
+            order: VecDeque::new(),
+            len: 0,
+        }
     }
 }
 
@@ -263,7 +267,11 @@ impl<V> ShardedCache<V> {
                 self.evictions.fetch_add(1, Ordering::SeqCst);
             }
         }
-        shard.chains.entry(fp).or_default().push(CacheEntry { key, value });
+        shard
+            .chains
+            .entry(fp)
+            .or_default()
+            .push(CacheEntry { key, value });
         shard.order.push_back(fp);
         shard.len += 1;
     }
@@ -433,7 +441,9 @@ pub fn canonicalize_cached(d: &ColoredDigraph) -> Arc<CanonResult> {
     if !caches.is_enabled() {
         return Arc::new(canonicalize(d));
     }
-    caches.canon.get_or_insert_with(encode_digraph(d), || canonicalize(d))
+    caches
+        .canon
+        .get_or_insert_with(encode_digraph(d), || canonicalize(d))
 }
 
 /// [`ordered_classes`] through the global memo cache.
@@ -450,7 +460,9 @@ pub fn ordered_classes_cached(bc: &Bicolored) -> OrderedClasses {
         return ordered_classes(bc);
     }
     let d = ColoredDigraph::from_bicolored(bc);
-    let canon = caches.canon.get_or_insert_with(encode_digraph(&d), || canonicalize(&d));
+    let canon = caches
+        .canon
+        .get_or_insert_with(encode_digraph(&d), || canonicalize(&d));
     let perm = &canon.labeling; // old → new (canonical)
     let oc = caches
         .classes
@@ -470,10 +482,17 @@ pub fn ordered_classes_cached(bc: &Bicolored) -> OrderedClasses {
         .map(|c| {
             let mut nodes: Vec<usize> = c.nodes.iter().map(|&v| inv[v]).collect();
             nodes.sort_unstable();
-            EquivClass { nodes, form: c.form.clone(), black: c.black }
+            EquivClass {
+                nodes,
+                form: c.form.clone(),
+                black: c.black,
+            }
         })
         .collect();
-    OrderedClasses { classes, ell: oc.ell }
+    OrderedClasses {
+        classes,
+        ell: oc.ell,
+    }
 }
 
 #[cfg(test)]
@@ -508,7 +527,10 @@ mod tests {
         assert_eq!(*cache.get_or_insert_with(vec![2], || unreachable!()), 20);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (2, 2));
-        assert!(s.collisions > 0, "chain walks past foreign keys are counted");
+        assert!(
+            s.collisions > 0,
+            "chain walks past foreign keys are counted"
+        );
     }
 
     #[test]
@@ -553,9 +575,7 @@ mod tests {
             let d = ColoredDigraph::from_bicolored(&bc);
             let canon = canonicalize(&d);
             let canon_bc = relabel_bicolored(&bc, &canon.labeling);
-            cache.get_or_insert_with(encode_bicolored(&canon_bc), || {
-                ordered_classes(&canon_bc)
-            });
+            cache.get_or_insert_with(encode_bicolored(&canon_bc), || ordered_classes(&canon_bc));
         }
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 1), "isomorphic instances collapse");
@@ -593,15 +613,36 @@ mod tests {
         let canon = canonicalize_cached(&ColoredDigraph::from_bicolored(&bc));
         global().set_enabled(true);
         assert_eq!(oc.k(), ordered_classes(&bc).k());
-        assert_eq!(canon.form, canonicalize(&ColoredDigraph::from_bicolored(&bc)).form);
+        assert_eq!(
+            canon.form,
+            canonicalize(&ColoredDigraph::from_bicolored(&bc)).form
+        );
     }
 
     #[test]
     fn stats_delta_and_rates() {
-        let a = CacheStats { hits: 2, misses: 2, evictions: 0, collisions: 1 };
-        let b = CacheStats { hits: 6, misses: 3, evictions: 1, collisions: 1 };
+        let a = CacheStats {
+            hits: 2,
+            misses: 2,
+            evictions: 0,
+            collisions: 1,
+        };
+        let b = CacheStats {
+            hits: 6,
+            misses: 3,
+            evictions: 1,
+            collisions: 1,
+        };
         let d = a.delta(&b);
-        assert_eq!(d, CacheStats { hits: 4, misses: 1, evictions: 1, collisions: 0 });
+        assert_eq!(
+            d,
+            CacheStats {
+                hits: 4,
+                misses: 1,
+                evictions: 1,
+                collisions: 0
+            }
+        );
         assert!((b.hit_rate() - 6.0 / 9.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
         let m = a.merge(&b);

@@ -27,9 +27,9 @@
 //! Exactness is cross-checked in the test-suite against a brute-force
 //! permutation search on small digraphs.
 
-use crate::digraph::ColoredDigraph;
 #[cfg(test)]
 use crate::digraph::Arc;
+use crate::digraph::ColoredDigraph;
 use crate::refine::{refine_to_stable, Partition};
 
 /// Union-find over node ids, used for orbit bookkeeping.
@@ -41,7 +41,9 @@ pub struct Dsu {
 impl Dsu {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     /// Representative of `v`'s set (path-halving).
@@ -329,12 +331,7 @@ pub fn brute_force_automorphisms(d: &ColoredDigraph) -> Vec<Vec<usize>> {
     let mut perm: Vec<usize> = (0..n).collect();
     let mut out = Vec::new();
     // Heap's algorithm over all permutations.
-    fn heaps(
-        k: usize,
-        perm: &mut Vec<usize>,
-        d: &ColoredDigraph,
-        out: &mut Vec<Vec<usize>>,
-    ) {
+    fn heaps(k: usize, perm: &mut Vec<usize>, d: &ColoredDigraph, out: &mut Vec<Vec<usize>>) {
         if k == 1 {
             if d.is_automorphism(perm) {
                 out.push(perm.clone());
@@ -362,12 +359,7 @@ pub fn brute_force_canonical_form(d: &ColoredDigraph) -> CanonicalForm {
     let n = d.n();
     let mut perm: Vec<usize> = (0..n).collect();
     let mut best: Option<Vec<u64>> = None;
-    fn heaps(
-        k: usize,
-        perm: &mut Vec<usize>,
-        d: &ColoredDigraph,
-        best: &mut Option<Vec<u64>>,
-    ) {
+    fn heaps(k: usize, perm: &mut Vec<usize>, d: &ColoredDigraph, best: &mut Option<Vec<u64>>) {
         if k == 1 {
             let w = word_of(d, perm);
             match best {
@@ -427,8 +419,16 @@ mod tests {
         let mut arcs = Vec::new();
         for v in 0..n {
             let w = (v + 1) % n;
-            arcs.push(Arc { from: v as u32, to: w as u32, color: 0 });
-            arcs.push(Arc { from: w as u32, to: v as u32, color: 0 });
+            arcs.push(Arc {
+                from: v as u32,
+                to: w as u32,
+                color: 0,
+            });
+            arcs.push(Arc {
+                from: w as u32,
+                to: v as u32,
+                color: 0,
+            });
         }
         ColoredDigraph::new(vec![0; n], arcs)
     }
@@ -479,21 +479,61 @@ mod tests {
             ColoredDigraph::new(
                 vec![0, 0, 0, 0],
                 vec![
-                    Arc { from: 0, to: 1, color: 0 },
-                    Arc { from: 1, to: 2, color: 0 },
-                    Arc { from: 2, to: 3, color: 0 },
-                    Arc { from: 3, to: 0, color: 0 },
+                    Arc {
+                        from: 0,
+                        to: 1,
+                        color: 0,
+                    },
+                    Arc {
+                        from: 1,
+                        to: 2,
+                        color: 0,
+                    },
+                    Arc {
+                        from: 2,
+                        to: 3,
+                        color: 0,
+                    },
+                    Arc {
+                        from: 3,
+                        to: 0,
+                        color: 0,
+                    },
                 ],
             ),
             ColoredDigraph::new(
                 vec![0, 1, 0, 1, 0],
                 vec![
-                    Arc { from: 0, to: 1, color: 2 },
-                    Arc { from: 1, to: 0, color: 3 },
-                    Arc { from: 1, to: 2, color: 2 },
-                    Arc { from: 2, to: 3, color: 2 },
-                    Arc { from: 3, to: 4, color: 2 },
-                    Arc { from: 4, to: 0, color: 2 },
+                    Arc {
+                        from: 0,
+                        to: 1,
+                        color: 2,
+                    },
+                    Arc {
+                        from: 1,
+                        to: 0,
+                        color: 3,
+                    },
+                    Arc {
+                        from: 1,
+                        to: 2,
+                        color: 2,
+                    },
+                    Arc {
+                        from: 2,
+                        to: 3,
+                        color: 2,
+                    },
+                    Arc {
+                        from: 3,
+                        to: 4,
+                        color: 2,
+                    },
+                    Arc {
+                        from: 4,
+                        to: 0,
+                        color: 2,
+                    },
                 ],
             ),
             cycle_digraph(5),
@@ -533,7 +573,11 @@ mod tests {
         for u in 0..n {
             for v in 0..n {
                 if u != v {
-                    arcs.push(Arc { from: u as u32, to: v as u32, color: 0 });
+                    arcs.push(Arc {
+                        from: u as u32,
+                        to: v as u32,
+                        color: 0,
+                    });
                 }
             }
         }
@@ -566,8 +610,16 @@ mod tests {
         let cyc = cycle_digraph(4);
         let mut arcs = Vec::new();
         for v in 0..3u32 {
-            arcs.push(Arc { from: v, to: v + 1, color: 0 });
-            arcs.push(Arc { from: v + 1, to: v, color: 0 });
+            arcs.push(Arc {
+                from: v,
+                to: v + 1,
+                color: 0,
+            });
+            arcs.push(Arc {
+                from: v + 1,
+                to: v,
+                color: 0,
+            });
         }
         let path = ColoredDigraph::new(vec![0; 4], arcs);
         let fc = canonicalize(&cyc).form;

@@ -52,11 +52,20 @@ impl ColoredDigraph {
         let mut out = vec![Vec::new(); n];
         let mut inc = vec![Vec::new(); n];
         for (i, a) in arcs.iter().enumerate() {
-            assert!((a.from as usize) < n && (a.to as usize) < n, "arc out of range");
+            assert!(
+                (a.from as usize) < n && (a.to as usize) < n,
+                "arc out of range"
+            );
             out[a.from as usize].push(i as u32);
             inc[a.to as usize].push(i as u32);
         }
-        ColoredDigraph { n, node_colors, arcs, out, inc }
+        ColoredDigraph {
+            n,
+            node_colors,
+            arcs,
+            out,
+            inc,
+        }
     }
 
     /// Number of nodes.
@@ -174,8 +183,16 @@ impl ColoredDigraph {
         let g = bc.graph();
         let mut arcs = Vec::with_capacity(2 * g.m());
         for e in g.edges() {
-            arcs.push(Arc { from: e.u as u32, to: e.v as u32, color: 0 });
-            arcs.push(Arc { from: e.v as u32, to: e.u as u32, color: 0 });
+            arcs.push(Arc {
+                from: e.u as u32,
+                to: e.v as u32,
+                color: 0,
+            });
+            arcs.push(Arc {
+                from: e.v as u32,
+                to: e.u as u32,
+                color: 0,
+            });
         }
         ColoredDigraph::new(bc.node_colors(), arcs)
     }
@@ -188,8 +205,16 @@ impl ColoredDigraph {
         let g = bc.graph();
         let mut arcs = Vec::with_capacity(2 * g.m());
         for e in g.edges() {
-            arcs.push(Arc { from: e.u as u32, to: e.v as u32, color: u64::from(e.pu.0) });
-            arcs.push(Arc { from: e.v as u32, to: e.u as u32, color: u64::from(e.pv.0) });
+            arcs.push(Arc {
+                from: e.u as u32,
+                to: e.v as u32,
+                color: u64::from(e.pu.0),
+            });
+            arcs.push(Arc {
+                from: e.v as u32,
+                to: e.u as u32,
+                color: u64::from(e.pv.0),
+            });
         }
         ColoredDigraph::new(bc.node_colors(), arcs)
     }
@@ -204,7 +229,18 @@ mod tests {
     fn two_cycle() -> ColoredDigraph {
         ColoredDigraph::new(
             vec![0, 0],
-            vec![Arc { from: 0, to: 1, color: 0 }, Arc { from: 1, to: 0, color: 0 }],
+            vec![
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 0,
+                },
+                Arc {
+                    from: 1,
+                    to: 0,
+                    color: 0,
+                },
+            ],
         )
     }
 
@@ -227,7 +263,18 @@ mod tests {
     fn node_colors_break_automorphism() {
         let d = ColoredDigraph::new(
             vec![0, 1],
-            vec![Arc { from: 0, to: 1, color: 0 }, Arc { from: 1, to: 0, color: 0 }],
+            vec![
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 0,
+                },
+                Arc {
+                    from: 1,
+                    to: 0,
+                    color: 0,
+                },
+            ],
         );
         assert!(!d.is_automorphism(&[1, 0]));
         assert!(d.is_automorphism(&[0, 1]));
@@ -237,7 +284,18 @@ mod tests {
     fn arc_colors_break_automorphism() {
         let d = ColoredDigraph::new(
             vec![0, 0],
-            vec![Arc { from: 0, to: 1, color: 5 }, Arc { from: 1, to: 0, color: 7 }],
+            vec![
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 5,
+                },
+                Arc {
+                    from: 1,
+                    to: 0,
+                    color: 7,
+                },
+            ],
         );
         assert!(!d.is_automorphism(&[1, 0]));
     }
@@ -247,14 +305,26 @@ mod tests {
         let d = ColoredDigraph::new(
             vec![3, 4, 5],
             vec![
-                Arc { from: 0, to: 1, color: 1 },
-                Arc { from: 1, to: 2, color: 2 },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 1,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    color: 2,
+                },
             ],
         );
         let r = d.relabel(&[2, 0, 1]);
         assert_eq!(r.node_color(2), 3);
         assert_eq!(r.node_color(0), 4);
-        assert!(r.arcs().contains(&Arc { from: 2, to: 0, color: 1 }));
+        assert!(r.arcs().contains(&Arc {
+            from: 2,
+            to: 0,
+            color: 1
+        }));
     }
 
     #[test]

@@ -55,8 +55,16 @@ pub fn instance_to_dot(bc: &Bicolored) -> String {
 pub fn classes_to_dot(bc: &Bicolored) -> String {
     let classes = crate::surrounding::ordered_classes(bc);
     let palette = [
-        "black", "gray60", "white", "lightblue", "lightpink", "palegreen",
-        "khaki", "orange", "plum", "turquoise",
+        "black",
+        "gray60",
+        "white",
+        "lightblue",
+        "lightpink",
+        "palegreen",
+        "khaki",
+        "orange",
+        "plum",
+        "turquoise",
     ];
     let g = bc.graph();
     let mut out = String::from("graph G {\n  node [shape=circle, style=filled];\n");

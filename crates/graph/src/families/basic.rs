@@ -60,12 +60,7 @@ pub fn complete(n: usize) -> Result<Graph, GraphError> {
             if u < v {
                 // Port at u for difference `diff` is diff−1; port at v for
                 // the reverse difference n−diff is n−diff−1.
-                b.add_edge_with_ports(
-                    u,
-                    v,
-                    Port((diff - 1) as u32),
-                    Port((n - diff - 1) as u32),
-                )?;
+                b.add_edge_with_ports(u, v, Port((diff - 1) as u32), Port((n - diff - 1) as u32))?;
             }
         }
     }

@@ -143,11 +143,17 @@ pub(crate) fn lex_permutations(k: usize) -> Vec<Vec<u8>> {
 /// `i−1` swaps positions `0` and `i`. `(k−1)`-regular on `k!` nodes.
 pub fn star_graph(k: usize) -> Result<Graph, GraphError> {
     if !(3..=7).contains(&k) {
-        return Err(GraphError::BadParameter("star graph needs 3 <= k <= 7".into()));
+        return Err(GraphError::BadParameter(
+            "star graph needs 3 <= k <= 7".into(),
+        ));
     }
     let perms = lex_permutations(k);
-    let index: HashMap<Vec<u8>, usize> =
-        perms.iter().cloned().enumerate().map(|(i, p)| (p, i)).collect();
+    let index: HashMap<Vec<u8>, usize> = perms
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, p)| (p, i))
+        .collect();
     let mut b = GraphBuilder::new(perms.len());
     for (v, p) in perms.iter().enumerate() {
         for i in 1..k {

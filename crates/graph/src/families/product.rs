@@ -37,7 +37,9 @@ pub fn hypercube(d: usize) -> Result<Graph, GraphError> {
 /// translation-invariant labeling.
 pub fn torus(dims: &[usize]) -> Result<Graph, GraphError> {
     if dims.is_empty() {
-        return Err(GraphError::BadParameter("torus needs >= 1 dimension".into()));
+        return Err(GraphError::BadParameter(
+            "torus needs >= 1 dimension".into(),
+        ));
     }
     if dims.iter().any(|&d| d < 3) {
         return Err(GraphError::BadParameter(
@@ -84,10 +86,7 @@ mod tests {
         let g = hypercube(3).unwrap();
         for v in 0..8usize {
             for bit in 0..3 {
-                assert_eq!(
-                    g.move_along(v, Port(bit as u32)).unwrap().0,
-                    v ^ (1 << bit)
-                );
+                assert_eq!(g.move_along(v, Port(bit as u32)).unwrap().0, v ^ (1 << bit));
             }
         }
     }

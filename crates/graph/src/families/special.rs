@@ -59,7 +59,7 @@ pub fn fig2c_gadget() -> Result<Graph, GraphError> {
     // Double edge between x and y.
     b.add_edge_with_ports(x, y, Port(3), Port(4))?; // e1: l_x = 3, l_y = 4
     b.add_edge_with_ports(x, y, Port(4), Port(3))?; // e2: l_x = 4, l_y = 3
-    // Loop at z with extremities 3 and 4.
+                                                    // Loop at z with extremities 3 and 4.
     b.add_edge_with_ports(z, z, Port(3), Port(4))?;
     b.finish()
 }

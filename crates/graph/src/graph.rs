@@ -193,9 +193,10 @@ impl Graph {
     /// Returns the destination node and the entry port (the label of the
     /// same edge at the destination). This is the agent's "move" primitive.
     pub fn move_along(&self, v: NodeId, port: Port) -> Result<(NodeId, Port), GraphError> {
-        let inc = self
-            .incidence_at(v, port)
-            .ok_or(GraphError::NoSuchPort { node: v, port: port.0 })?;
+        let inc = self.incidence_at(v, port).ok_or(GraphError::NoSuchPort {
+            node: v,
+            port: port.0,
+        })?;
         Ok(self.across(inc))
     }
 
@@ -287,7 +288,8 @@ impl Graph {
     /// canonical forms of all rooted versions (exact, exponential in the
     /// worst case; intended for the modest sizes the experiments use).
     pub fn is_vertex_transitive(&self) -> bool {
-        let all_white = crate::bicolored::Bicolored::new(self.clone(), &[]).expect("empty placement");
+        let all_white =
+            crate::bicolored::Bicolored::new(self.clone(), &[]).expect("empty placement");
         let classes = crate::surrounding::equivalence_classes(&all_white);
         classes.len() == 1
     }
@@ -384,8 +386,14 @@ impl GraphBuilder {
         }
         let mut adj: Vec<Vec<Incidence>> = vec![Vec::new(); self.n];
         for (i, e) in self.edges.iter().enumerate() {
-            adj[e.u].push(Incidence { edge: i as u32, end: End::U });
-            adj[e.v].push(Incidence { edge: i as u32, end: End::V });
+            adj[e.u].push(Incidence {
+                edge: i as u32,
+                end: End::U,
+            });
+            adj[e.v].push(Incidence {
+                edge: i as u32,
+                end: End::V,
+            });
         }
         // Validate local port distinctness; sort by port for determinism.
         for (v, list) in adj.iter_mut().enumerate() {
@@ -397,11 +405,18 @@ impl GraphBuilder {
                 let p0 = self.edges[w[0].edge as usize].port(w[0].end);
                 let p1 = self.edges[w[1].edge as usize].port(w[1].end);
                 if p0 == p1 {
-                    return Err(GraphError::DuplicatePort { node: v, port: p0.0 });
+                    return Err(GraphError::DuplicatePort {
+                        node: v,
+                        port: p0.0,
+                    });
                 }
             }
         }
-        let g = Graph { n: self.n, edges: self.edges, adj };
+        let g = Graph {
+            n: self.n,
+            edges: self.edges,
+            adj,
+        };
         if !g.is_connected() {
             return Err(GraphError::Disconnected);
         }
@@ -416,8 +431,14 @@ impl GraphBuilder {
         }
         let mut adj: Vec<Vec<Incidence>> = vec![Vec::new(); self.n];
         for (i, e) in self.edges.iter().enumerate() {
-            adj[e.u].push(Incidence { edge: i as u32, end: End::U });
-            adj[e.v].push(Incidence { edge: i as u32, end: End::V });
+            adj[e.u].push(Incidence {
+                edge: i as u32,
+                end: End::U,
+            });
+            adj[e.v].push(Incidence {
+                edge: i as u32,
+                end: End::V,
+            });
         }
         for (v, list) in adj.iter_mut().enumerate() {
             list.sort_by_key(|inc| {
@@ -428,11 +449,18 @@ impl GraphBuilder {
                 let p0 = self.edges[w[0].edge as usize].port(w[0].end);
                 let p1 = self.edges[w[1].edge as usize].port(w[1].end);
                 if p0 == p1 {
-                    return Err(GraphError::DuplicatePort { node: v, port: p0.0 });
+                    return Err(GraphError::DuplicatePort {
+                        node: v,
+                        port: p0.0,
+                    });
                 }
             }
         }
-        Ok(Graph { n: self.n, edges: self.edges, adj })
+        Ok(Graph {
+            n: self.n,
+            edges: self.edges,
+            adj,
+        })
     }
 }
 

@@ -73,9 +73,8 @@ pub fn all_labelings(g: &Graph, cap: usize) -> Option<Vec<Graph>> {
         }
     }
     // Per-node permutations.
-    let perms_per_node: Vec<Vec<Vec<usize>>> = (0..g.n())
-        .map(|v| permutations(g.degree(v)))
-        .collect();
+    let perms_per_node: Vec<Vec<Vec<usize>>> =
+        (0..g.n()).map(|v| permutations(g.degree(v))).collect();
     let mut out = Vec::with_capacity(total);
     let mut idx = vec![0usize; g.n()];
     loop {

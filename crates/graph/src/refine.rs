@@ -134,10 +134,26 @@ mod tests {
         ColoredDigraph::new(
             vec![0, 0, 0],
             vec![
-                Arc { from: 0, to: 1, color: 0 },
-                Arc { from: 1, to: 0, color: 0 },
-                Arc { from: 1, to: 2, color: 0 },
-                Arc { from: 2, to: 1, color: 0 },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 0,
+                },
+                Arc {
+                    from: 1,
+                    to: 0,
+                    color: 0,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    color: 0,
+                },
+                Arc {
+                    from: 2,
+                    to: 1,
+                    color: 0,
+                },
             ],
         )
     }
@@ -156,8 +172,16 @@ mod tests {
         let n = 6;
         for v in 0..n {
             let w = (v + 1) % n;
-            arcs.push(Arc { from: v as u32, to: w as u32, color: 0 });
-            arcs.push(Arc { from: w as u32, to: v as u32, color: 0 });
+            arcs.push(Arc {
+                from: v as u32,
+                to: w as u32,
+                color: 0,
+            });
+            arcs.push(Arc {
+                from: w as u32,
+                to: v as u32,
+                color: 0,
+            });
         }
         let d = ColoredDigraph::new(vec![0; n], arcs);
         let p = refine_to_stable(&d, None);
@@ -170,8 +194,16 @@ mod tests {
         let n = 4;
         for v in 0..n {
             let w = (v + 1) % n;
-            arcs.push(Arc { from: v as u32, to: w as u32, color: 0 });
-            arcs.push(Arc { from: w as u32, to: v as u32, color: 0 });
+            arcs.push(Arc {
+                from: v as u32,
+                to: w as u32,
+                color: 0,
+            });
+            arcs.push(Arc {
+                from: w as u32,
+                to: v as u32,
+                color: 0,
+            });
         }
         // Mark node 0 black: the 4-cycle splits by distance from node 0.
         let d = ColoredDigraph::new(vec![1, 0, 0, 0], arcs);
@@ -186,9 +218,21 @@ mod tests {
         let d = ColoredDigraph::new(
             vec![0, 0, 0],
             vec![
-                Arc { from: 0, to: 1, color: 9 },
-                Arc { from: 1, to: 2, color: 0 },
-                Arc { from: 2, to: 0, color: 0 },
+                Arc {
+                    from: 0,
+                    to: 1,
+                    color: 9,
+                },
+                Arc {
+                    from: 1,
+                    to: 2,
+                    color: 0,
+                },
+                Arc {
+                    from: 2,
+                    to: 0,
+                    color: 0,
+                },
             ],
         );
         let p = refine_to_stable(&d, None);

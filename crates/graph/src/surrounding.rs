@@ -28,10 +28,18 @@ pub fn surrounding(bc: &Bicolored, u: NodeId) -> ColoredDigraph {
     for e in g.edges() {
         let (x, y) = (e.u, e.v);
         if dist[x] <= dist[y] {
-            arcs.push(Arc { from: x as u32, to: y as u32, color: 0 });
+            arcs.push(Arc {
+                from: x as u32,
+                to: y as u32,
+                color: 0,
+            });
         }
         if dist[y] <= dist[x] {
-            arcs.push(Arc { from: y as u32, to: x as u32, color: 0 });
+            arcs.push(Arc {
+                from: y as u32,
+                to: x as u32,
+                color: 0,
+            });
         }
     }
     ColoredDigraph::new(bc.node_colors(), arcs)
@@ -80,10 +88,7 @@ impl OrderedClasses {
 
     /// `gcd(|C_1|, …, |C_k|)` — 1 iff ELECT succeeds (Theorem 3.1).
     pub fn gcd_of_sizes(&self) -> usize {
-        self.classes
-            .iter()
-            .map(|c| c.len())
-            .fold(0usize, gcd)
+        self.classes.iter().map(|c| c.len()).fold(0usize, gcd)
     }
 
     /// The class index of a node.
@@ -125,18 +130,18 @@ pub fn ordered_classes(bc: &Bicolored) -> OrderedClasses {
         })
         .collect();
     // Black classes first, each group ordered by ≺ (canonical form).
-    classes.sort_by(|a, b| {
-        b.black
-            .cmp(&a.black)
-            .then_with(|| a.form.cmp(&b.form))
-    });
+    classes.sort_by(|a, b| b.black.cmp(&a.black).then_with(|| a.form.cmp(&b.form)));
     let ell = classes.iter().filter(|c| c.black).count();
     OrderedClasses { classes, ell }
 }
 
 /// Equivalence classes as plain node sets (no ordering metadata).
 pub fn equivalence_classes(bc: &Bicolored) -> Vec<Vec<NodeId>> {
-    ordered_classes(bc).classes.into_iter().map(|c| c.nodes).collect()
+    ordered_classes(bc)
+        .classes
+        .into_iter()
+        .map(|c| c.nodes)
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,8 +183,16 @@ mod tests {
         let g = families::cycle(4).unwrap();
         let bc = Bicolored::new(g, &[]).unwrap();
         let s = surrounding(&bc, 0);
-        assert!(s.arcs().contains(&Arc { from: 1, to: 2, color: 0 }));
-        assert!(!s.arcs().contains(&Arc { from: 2, to: 1, color: 0 }));
+        assert!(s.arcs().contains(&Arc {
+            from: 1,
+            to: 2,
+            color: 0
+        }));
+        assert!(!s.arcs().contains(&Arc {
+            from: 2,
+            to: 1,
+            color: 0
+        }));
     }
 
     #[test]

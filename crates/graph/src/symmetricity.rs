@@ -22,11 +22,7 @@ use crate::view::symmetricity_of_labeling;
 
 /// Exact `max_ℓ σ_ℓ(G, p)` by enumerating every labeling. Returns `None`
 /// if the labeling count exceeds `cap`.
-pub fn max_symmetricity_exhaustive(
-    g: &Graph,
-    homebases: &[usize],
-    cap: usize,
-) -> Option<usize> {
+pub fn max_symmetricity_exhaustive(g: &Graph, homebases: &[usize], cap: usize) -> Option<usize> {
     let labelings = labeling::all_labelings(g, cap)?;
     let mut best = 1;
     for lg in labelings {
@@ -44,8 +40,7 @@ pub fn max_symmetricity_sampled(
     samples: usize,
     seed: u64,
 ) -> usize {
-    let mut best =
-        symmetricity_of_labeling(&Bicolored::new(g.clone(), homebases).expect("valid"));
+    let mut best = symmetricity_of_labeling(&Bicolored::new(g.clone(), homebases).expect("valid"));
     for i in 0..samples {
         let lg = labeling::scramble(g, seed.wrapping_add(i as u64)).expect("scramble");
         let bc = Bicolored::new(lg, homebases).expect("valid");
@@ -73,11 +68,7 @@ pub fn labeling_witnesses_impossibility(bc: &Bicolored) -> bool {
 /// an impossibility witness. `Some(true)` means election in `(G, p)` is
 /// provably impossible; `Some(false)` means no labeling of size-`> 1`
 /// label classes exists; `None` means the search space was too large.
-pub fn impossible_by_thm21_exhaustive(
-    g: &Graph,
-    homebases: &[usize],
-    cap: usize,
-) -> Option<bool> {
+pub fn impossible_by_thm21_exhaustive(g: &Graph, homebases: &[usize], cap: usize) -> Option<bool> {
     let labelings = labeling::all_labelings(g, cap)?;
     for lg in labelings {
         let bc = Bicolored::new(lg, homebases).expect("valid");

@@ -30,8 +30,16 @@ pub fn view_digraph(bc: &Bicolored) -> ColoredDigraph {
     for e in g.edges() {
         let down_up = (u64::from(e.pu.0) << 32) | u64::from(e.pv.0);
         let up_down = (u64::from(e.pv.0) << 32) | u64::from(e.pu.0);
-        arcs.push(crate::digraph::Arc { from: e.u as u32, to: e.v as u32, color: down_up });
-        arcs.push(crate::digraph::Arc { from: e.v as u32, to: e.u as u32, color: up_down });
+        arcs.push(crate::digraph::Arc {
+            from: e.u as u32,
+            to: e.v as u32,
+            color: down_up,
+        });
+        arcs.push(crate::digraph::Arc {
+            from: e.v as u32,
+            to: e.u as u32,
+            color: up_down,
+        });
     }
     ColoredDigraph::new(bc.node_colors(), arcs)
 }
@@ -84,7 +92,10 @@ impl ViewTree {
                 children.push((down, up, ViewTree::build(bc, w, depth - 1)));
             }
         }
-        ViewTree { black: bc.is_black(v), children }
+        ViewTree {
+            black: bc.is_black(v),
+            children,
+        }
     }
 
     /// Number of nodes in the truncated tree.
@@ -117,10 +128,7 @@ impl ViewTree {
             let next = Port(map.len() as u32);
             *map.entry(p).or_insert(next)
         }
-        fn walk(
-            t: &ViewTree,
-            map: &mut std::collections::HashMap<Port, Port>,
-        ) -> ViewTree {
+        fn walk(t: &ViewTree, map: &mut std::collections::HashMap<Port, Port>) -> ViewTree {
             let children = t
                 .children
                 .iter()
@@ -130,7 +138,10 @@ impl ViewTree {
                     (d, u, walk(sub, map))
                 })
                 .collect();
-            ViewTree { black: t.black, children }
+            ViewTree {
+                black: t.black,
+                children,
+            }
         }
         walk(self, &mut map)
     }
@@ -293,8 +304,7 @@ mod tests {
         b.add_edge_with_ports(1, 2, Port(2), Port(1)).unwrap();
         let g = b.finish().unwrap();
         let bc = Bicolored::new(g, &[]).unwrap();
-        let mut views: Vec<ViewTree> =
-            (0..3).map(|v| ViewTree::build(&bc, v, 2)).collect();
+        let mut views: Vec<ViewTree> = (0..3).map(|v| ViewTree::build(&bc, v, 2)).collect();
         views.dedup();
         assert_eq!(views.len(), 3);
         views.sort();

@@ -40,7 +40,11 @@ fn digraph() -> impl Strategy<Value = ColoredDigraph> {
         for u in 0..n {
             for v in 0..n {
                 if u != v && next() % 3 == 0 {
-                    arcs.push(Arc { from: u as u32, to: v as u32, color: next() % 2 });
+                    arcs.push(Arc {
+                        from: u as u32,
+                        to: v as u32,
+                        color: next() % 2,
+                    });
                 }
             }
         }
@@ -55,7 +59,8 @@ fn rebuild_relabeled(bc: &Bicolored, perm: &[usize]) -> Bicolored {
     let g = bc.graph();
     let mut b = GraphBuilder::new(g.n());
     for e in g.edges() {
-        b.add_edge_with_ports(perm[e.u], perm[e.v], Port(e.pu.0), Port(e.pv.0)).unwrap();
+        b.add_edge_with_ports(perm[e.u], perm[e.v], Port(e.pu.0), Port(e.pv.0))
+            .unwrap();
     }
     let homes: Vec<usize> = bc.homebases().iter().map(|&v| perm[v]).collect();
     Bicolored::new(b.finish().unwrap(), &homes).unwrap()

@@ -37,7 +37,9 @@ impl CayleyGraph {
             return Err(GroupError::BadParameter("empty generating set".into()));
         }
         if gens.contains(&group.identity()) {
-            return Err(GroupError::BadParameter("identity in generating set".into()));
+            return Err(GroupError::BadParameter(
+                "identity in generating set".into(),
+            ));
         }
         if gens.iter().any(|&s| s >= n) {
             return Err(GroupError::BadParameter("generator out of range".into()));
@@ -262,7 +264,10 @@ mod tests {
         for gamma in 0..5 {
             let t = cg.translation(gamma);
             let images: Vec<usize> = (0..5).map(|v| t.apply(v)).collect();
-            assert!(d.is_automorphism(&images), "translation {gamma} not label-preserving");
+            assert!(
+                d.is_automorphism(&images),
+                "translation {gamma} not label-preserving"
+            );
         }
     }
 

@@ -24,15 +24,16 @@ pub fn order_profile<G: FiniteGroup>(g: &G) -> Vec<(usize, usize)> {
 /// A human-readable fingerprint: `order[o1^m1 o2^m2 …]`, plus `abelian`.
 pub fn fingerprint<G: FiniteGroup>(g: &G) -> String {
     let profile = order_profile(g);
-    let parts: Vec<String> = profile
-        .iter()
-        .map(|(o, m)| format!("{o}^{m}"))
-        .collect();
+    let parts: Vec<String> = profile.iter().map(|(o, m)| format!("{o}^{m}")).collect();
     format!(
         "|G|={} orders[{}] {}",
         g.order(),
         parts.join(" "),
-        if g.is_abelian() { "abelian" } else { "non-abelian" }
+        if g.is_abelian() {
+            "abelian"
+        } else {
+            "non-abelian"
+        }
     )
 }
 
@@ -51,9 +52,7 @@ impl QuaternionGroup {
             let sign = if e.is_multiple_of(2) { 1 } else { -1 };
             (sign, e / 2)
         };
-        let enc = |sign: i8, axis: usize| -> u32 {
-            (axis * 2 + usize::from(sign < 0)) as u32
-        };
+        let enc = |sign: i8, axis: usize| -> u32 { (axis * 2 + usize::from(sign < 0)) as u32 };
         // Quaternion multiplication on axes: i·j = k, j·k = i, k·i = j,
         // and x·x = −1 for axes.
         let mul_axis = |a: usize, b: usize| -> (i8, usize) {
@@ -109,11 +108,13 @@ mod tests {
         let z2cube = DirectProductGroup::new(vec![2, 2, 2]).unwrap();
         let d4 = DihedralGroup(4);
         let q8 = QuaternionGroup::table().unwrap();
-        let profiles = [order_profile(&z8),
+        let profiles = [
+            order_profile(&z8),
             order_profile(&z4z2),
             order_profile(&z2cube),
             order_profile(&d4),
-            order_profile(&q8)];
+            order_profile(&q8),
+        ];
         for i in 0..profiles.len() {
             for j in (i + 1)..profiles.len() {
                 assert_ne!(profiles[i], profiles[j], "{i} vs {j}");
@@ -155,7 +156,11 @@ mod tests {
         assert_eq!(profile_counts.get(&z2cube), Some(&1));
         assert_eq!(profile_counts.get(&z4z2), Some(&3));
         assert_eq!(profile_counts.get(&d4), Some(&6));
-        assert_eq!(profile_counts.get(&q8), None, "Q8 cannot act regularly on the cube");
+        assert_eq!(
+            profile_counts.get(&q8),
+            None,
+            "Q8 cannot act regularly on the cube"
+        );
         assert_eq!(profile_counts.get(&z8), None);
         assert_eq!(profile_counts.len(), 3);
     }

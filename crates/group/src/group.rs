@@ -134,7 +134,9 @@ impl TableGroup {
         }
         for row in &table {
             if row.len() != n || row.iter().any(|&v| v as usize >= n) {
-                return Err(GroupError::MalformedTable("non-square or out of range".into()));
+                return Err(GroupError::MalformedTable(
+                    "non-square or out of range".into(),
+                ));
             }
         }
         // Identity.

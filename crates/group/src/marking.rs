@@ -83,9 +83,8 @@ pub fn marking_schedule(cg: &CayleyGraph, homebases: &[usize]) -> MarkingTrace {
                 }
             }
         }
-        let (i, j, s) = found.expect(
-            "classes of different sizes must be linked by a generator (connectivity)",
-        );
+        let (i, j, s) =
+            found.expect("classes of different sizes must be linked by a generator (connectivity)");
         // C·s: by translation-invariance of the labeling, *every* node of
         // C has its s-edge into C' (the proof's key claim).
         let c = classes[i].clone();
@@ -137,10 +136,9 @@ pub fn marking_schedule(cg: &CayleyGraph, homebases: &[usize]) -> MarkingTrace {
 /// automorphism-based machinery; returns `d`.
 pub fn verify_witness_labeling(cg: &CayleyGraph, homebases: &[usize]) -> usize {
     let d = cg.translation_gcd(homebases);
-    let bc = qelect_graph::Bicolored::new(cg.graph().clone(), homebases)
-        .expect("valid placement");
-    let lab = qelect_graph::automorphism::lab_class_common_size(&bc)
-        .expect("Lemma 2.1: equal sizes");
+    let bc = qelect_graph::Bicolored::new(cg.graph().clone(), homebases).expect("valid placement");
+    let lab =
+        qelect_graph::automorphism::lab_class_common_size(&bc).expect("Lemma 2.1: equal sizes");
     assert!(
         lab >= d,
         "label classes can be no finer than translation classes"

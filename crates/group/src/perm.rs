@@ -84,7 +84,8 @@ impl Perm {
 
     /// Whether the permutation setwise stabilizes the given sorted set.
     pub fn stabilizes_set(&self, set: &[usize]) -> bool {
-        set.iter().all(|&v| set.binary_search(&self.apply(v)).is_ok())
+        set.iter()
+            .all(|&v| set.binary_search(&self.apply(v)).is_ok())
     }
 
     /// Cycle structure as sorted cycle lengths.

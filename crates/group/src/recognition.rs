@@ -251,11 +251,7 @@ pub fn regular_subgroups(g: &Graph, budget: RecognitionBudget) -> Recognition {
 
     /// Closure-propagate the assignment `T[v] = p`. Returns the updated
     /// table or None on conflict.
-    fn propagate(
-        t: &[Option<Perm>],
-        v: usize,
-        p: &Perm,
-    ) -> Option<Vec<Option<Perm>>> {
+    fn propagate(t: &[Option<Perm>], v: usize, p: &Perm) -> Option<Vec<Option<Perm>>> {
         let mut t: Vec<Option<Perm>> = t.to_vec();
         t[v] = Some(p.clone());
         let mut work = vec![v];
@@ -276,8 +272,7 @@ pub fn regular_subgroups(g: &Graph, budget: RecognitionBudget) -> Recognition {
                 }
             }
             // Products with every assigned element, both orders.
-            let assigned: Vec<usize> =
-                (0..t.len()).filter(|&w| t[w].is_some()).collect();
+            let assigned: Vec<usize> = (0..t.len()).filter(|&w| t[w].is_some()).collect();
             for &a in &assigned {
                 let pa = t[a].clone().expect("assigned");
                 for c in [pa.compose(&pu), pu.compose(&pa)] {
@@ -312,8 +307,10 @@ pub fn regular_subgroups(g: &Graph, budget: RecognitionBudget) -> Recognition {
         let next = (0..ctx.n).find(|&v| t[v].is_none());
         let v = match next {
             None => {
-                let elements: Vec<Perm> =
-                    t.into_iter().map(|o| o.expect("complete assignment")).collect();
+                let elements: Vec<Perm> = t
+                    .into_iter()
+                    .map(|o| o.expect("complete assignment"))
+                    .collect();
                 let sub = RegularSubgroup { elements };
                 let key = sub.key();
                 if !ctx.seen_keys.contains(&key) {
@@ -368,9 +365,9 @@ mod tests {
         let rec = regular_subgroups(&g, RecognitionBudget::default());
         assert_eq!(rec.is_cayley(), Some(true));
         assert_eq!(rec.automorphism_count, Some(12)); // D_6
-        // C6 has two regular subgroups: Z6 and S3? No — regular subgroups
-        // of D6 on 6 points: Z6 (rotations) and the dihedral D3 (order 6)
-        // acting regularly. Both appear.
+                                                      // C6 has two regular subgroups: Z6 and S3? No — regular subgroups
+                                                      // of D6 on 6 points: Z6 (rotations) and the dihedral D3 (order 6)
+                                                      // acting regularly. Both appear.
         assert!(!rec.subgroups.is_empty());
         for r in &rec.subgroups {
             // Every non-identity element is fixed-point-free.
@@ -393,8 +390,7 @@ mod tests {
             .subgroups
             .iter()
             .map(|r| {
-                let mut o: Vec<usize> =
-                    (0..4).map(|v| r.elements[v].order()).collect();
+                let mut o: Vec<usize> = (0..4).map(|v| r.elements[v].order()).collect();
                 o.sort_unstable();
                 o
             })
@@ -418,7 +414,11 @@ mod tests {
         let g = families::petersen().unwrap();
         let rec = regular_subgroups(&g, RecognitionBudget::default());
         assert_eq!(rec.automorphism_count, Some(120));
-        assert_eq!(rec.is_cayley(), Some(false), "Petersen is the classic non-Cayley VT graph");
+        assert_eq!(
+            rec.is_cayley(),
+            Some(false),
+            "Petersen is the classic non-Cayley VT graph"
+        );
     }
 
     #[test]

@@ -75,8 +75,7 @@ pub fn sabidussi_decomposition(g: &Graph, max_aut: usize) -> Option<Sabidussi> {
 
     let dist = g.distances_from(u0);
     let point: Vec<usize> = elements.iter().map(|p| p.apply(u0)).collect();
-    let generators: Vec<usize> =
-        (0..order).filter(|&a| dist[point[a]] == 1).collect();
+    let generators: Vec<usize> = (0..order).filter(|&a| dist[point[a]] == 1).collect();
     let stabilizer: Vec<usize> = (0..order).filter(|&a| point[a] == u0).collect();
 
     let cayley = CayleyGraph::new(&group, &generators).ok()?;
@@ -144,7 +143,10 @@ mod tests {
         assert_eq!(dec.generators.len(), 36); // 12 · deg(3)
         assert_eq!(dec.cayley.n(), 120);
         assert_eq!(dec.cayley.graph().is_regular(), Some(36));
-        assert!(dec.quotient_matches(&g), "Cay(Aut(P), S)/H must be the Petersen graph");
+        assert!(
+            dec.quotient_matches(&g),
+            "Cay(Aut(P), S)/H must be the Petersen graph"
+        );
     }
 
     #[test]
@@ -180,10 +182,7 @@ mod tests {
         let dec = sabidussi_decomposition(&g, 1_000).unwrap();
         for &s in &dec.generators {
             assert_ne!(s, 0, "identity fixes u0, distance 0");
-            assert!(
-                dec.generators.contains(&dec.group.inv(s)),
-                "S = S^{{-1}}"
-            );
+            assert!(dec.generators.contains(&dec.group.inv(s)), "S = S^{{-1}}");
         }
     }
 }

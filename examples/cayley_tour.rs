@@ -63,7 +63,5 @@ fn main() {
         "   final pseudo-label classes (all of size d): {:?}",
         trace.final_classes
     );
-    println!(
-        "   ⇒ the natural generator labeling is a Theorem 2.1 witness: election impossible."
-    );
+    println!("   ⇒ the natural generator labeling is a Theorem 2.1 witness: election impossible.");
 }

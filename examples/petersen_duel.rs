@@ -17,7 +17,10 @@ fn main() {
     let oc = ordered_classes(&bc);
     let sizes: Vec<usize> = oc.classes.iter().map(|c| c.len()).collect();
     println!("equivalence classes (black first): sizes {sizes:?}");
-    println!("gcd = {} → protocol ELECT cannot reduce below 2 agents\n", oc.gcd_of_sizes());
+    println!(
+        "gcd = {} → protocol ELECT cannot reduce below 2 agents\n",
+        oc.gcd_of_sizes()
+    );
 
     let elect_report = run_elect(&bc, RunConfig::default());
     println!("ELECT outcome: {:?}", elect_report.outcomes);
@@ -25,7 +28,10 @@ fn main() {
     println!("\nthe bespoke five-step protocol (mark a neighbor, find the");
     println!("other's mark, race for the unique common neighbor):");
     for seed in 0..3 {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_petersen(&bc, cfg);
         println!(
             "  seed {seed}: leader = agent {:?} ({} moves)",

@@ -44,7 +44,10 @@ fn main() {
     println!("C3, lone agent: {:?} (correct)", report.outcomes);
 
     let twins = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
-    let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+    let cfg = RunConfig {
+        policy: Policy::Lockstep,
+        ..RunConfig::default()
+    };
     let report = run_ring_probe(&twins, cfg);
     let leaders = report
         .outcomes

@@ -22,7 +22,11 @@ fn main() {
     println!("instance: C9 with agents at {:?}", instance.homebases());
     println!(
         "class-gcd oracle says election is {}",
-        if qelect::solvability::elect_succeeds(&instance) { "possible" } else { "impossible" }
+        if qelect::solvability::elect_succeeds(&instance) {
+            "possible"
+        } else {
+            "impossible"
+        }
     );
 
     let report = run_elect(&instance, RunConfig::default());

@@ -107,7 +107,11 @@ fn petersen_divergence_elect_fails_bespoke_succeeds() {
 
     // 1. Plain ELECT reports failure (gcd = 2).
     let elect_report = run_elect(&bc, RunConfig::default());
-    assert!(elect_report.unanimous_unsolvable(), "{:?}", elect_report.outcomes);
+    assert!(
+        elect_report.unanimous_unsolvable(),
+        "{:?}",
+        elect_report.outcomes
+    );
 
     // 2. The effectual Cayley protocol declines (not a Cayley graph).
     let eff_report = run_translation_elect(&bc, RunConfig::default());

@@ -65,7 +65,10 @@ fn elect_agrees_with_gcd_oracle_across_suite() {
     for (label, bc) in suite() {
         let expected = elect_succeeds(&bc);
         for seed in [1, 2] {
-            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::default()
+            };
             let report = run_elect(&bc, cfg);
             if expected {
                 assert!(
@@ -101,7 +104,13 @@ fn elect_is_labeling_independent() {
                 gcd_of_class_sizes(&bc),
                 "{label}: classes depend on ports?!"
             );
-            let report = run_elect(&sc, RunConfig { seed, ..RunConfig::default() });
+            let report = run_elect(
+                &sc,
+                RunConfig {
+                    seed,
+                    ..RunConfig::default()
+                },
+            );
             assert_eq!(
                 report.clean_election(),
                 expected,
@@ -121,7 +130,11 @@ fn elect_consistent_across_scheduler_policies() {
         Policy::Lockstep,
         Policy::GreedyLowest,
     ] {
-        let cfg = RunConfig { seed: 5, policy, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 5,
+            policy,
+            ..RunConfig::default()
+        };
         let report = run_elect(&bc, cfg);
         assert!(report.clean_election(), "{policy:?}: {:?}", report.outcomes);
     }
@@ -233,7 +246,10 @@ fn committed_c6_trace_replays_to_exactly_two_leaders() {
     // elect themselves. Strict replay must reproduce the double
     // election bit-for-bit — schedule, events, and verdict.
     use qelect_agentsim::AgentOutcome;
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/traces/c6_two_leaders.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/c6_two_leaders.json"
+    );
     let trace = Trace::load(path).expect("committed trace parses");
     assert_eq!(trace.agents, 2);
     assert_eq!(trace.nodes, 6);
@@ -246,9 +262,16 @@ fn committed_c6_trace_replays_to_exactly_two_leaders() {
         .iter()
         .filter(|o| **o == AgentOutcome::Leader)
         .count();
-    assert_eq!(leaders, 2, "the committed witness must double-elect: {:?}", report.outcomes);
+    assert_eq!(
+        leaders, 2,
+        "the committed witness must double-elect: {:?}",
+        report.outcomes
+    );
     assert!(!report.clean_election());
-    assert_eq!(report.trace, trace.schedule, "replay re-records the committed schedule");
+    assert_eq!(
+        report.trace, trace.schedule,
+        "replay re-records the committed schedule"
+    );
     assert_eq!(report.events, trace.events, "and the committed event log");
 }
 

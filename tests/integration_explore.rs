@@ -12,7 +12,12 @@ use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Bicolored};
 
 fn explore_cfg(max_schedules: usize, swarm_runs: usize) -> ExploreConfig {
-    ExploreConfig { preemption_bound: 2, max_schedules, swarm_runs, swarm_seed: 0x51AB }
+    ExploreConfig {
+        preemption_bound: 2,
+        max_schedules,
+        swarm_runs,
+        swarm_seed: 0x51AB,
+    }
 }
 
 #[test]
@@ -22,11 +27,24 @@ fn exploration_verifies_elect_on_cycle9_with_five_agents() {
     // every explored schedule must produce a clean election.
     let bc = Bicolored::new(families::cycle(9).unwrap(), &[0, 1, 2, 3, 4]).unwrap();
     assert!(elect_succeeds(&bc));
-    let cfg = RunConfig { seed: 1, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: 1,
+        ..RunConfig::default()
+    };
     let report = explore_elect(&bc, cfg, &explore_cfg(96, 16));
-    assert!(report.passed(), "violation: {:?}", report.counterexample.map(|c| c.violation));
-    assert!(report.schedules_explored >= 96 + 16, "DFS budget plus the swarm fallback");
-    assert!(report.swarm_used, "the bounded tree is too large to exhaust here");
+    assert!(
+        report.passed(),
+        "violation: {:?}",
+        report.counterexample.map(|c| c.violation)
+    );
+    assert!(
+        report.schedules_explored >= 96 + 16,
+        "DFS budget plus the swarm fallback"
+    );
+    assert!(
+        report.swarm_used,
+        "the bounded tree is too large to exhaust here"
+    );
     assert!(report.max_ticks > 0);
 }
 
@@ -38,7 +56,10 @@ fn exploration_never_elects_on_an_unsolvable_instance() {
     let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
     assert_eq!(gcd_of_class_sizes(&bc), 2);
     assert!(!elect_succeeds(&bc));
-    let cfg = RunConfig { seed: 2, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: 2,
+        ..RunConfig::default()
+    };
     let report = explore_elect(&bc, cfg, &explore_cfg(96, 16));
     assert!(
         report.passed(),
@@ -54,11 +75,17 @@ fn single_agent_exploration_completes_its_bounded_tree() {
     // DFS exhausts the bounded tree — exploration is then a proof, not
     // a sample, and the report says so.
     let bc = Bicolored::new(families::cycle(4).unwrap(), &[0]).unwrap();
-    let cfg = RunConfig { seed: 3, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: 3,
+        ..RunConfig::default()
+    };
     let report = explore_elect(&bc, cfg, &explore_cfg(50, 8));
     assert!(report.passed());
     assert!(report.complete, "one agent ⇒ one schedule ⇒ exhaustive");
-    assert!(!report.swarm_used, "no fallback needed when the tree completes");
+    assert!(
+        !report.swarm_used,
+        "no fallback needed when the tree completes"
+    );
 }
 
 #[test]
@@ -69,12 +96,22 @@ fn injected_gcd_fault_is_caught_shrunk_and_replayed() {
     // still replays to the same failure — while the healthy protocol
     // passes on that very schedule.
     let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 2, 3]).unwrap();
-    assert!(elect_succeeds(&bc), "the fault must be the only source of failure");
-    let fault = ElectFault { invert_gcd_check: true };
-    let cfg = RunConfig { seed: 7, ..RunConfig::default() };
+    assert!(
+        elect_succeeds(&bc),
+        "the fault must be the only source of failure"
+    );
+    let fault = ElectFault {
+        invert_gcd_check: true,
+    };
+    let cfg = RunConfig {
+        seed: 7,
+        ..RunConfig::default()
+    };
 
     let report = explore_elect_with_fault(&bc, cfg, &explore_cfg(64, 8), fault);
-    let ce = report.counterexample.expect("the injected fault must surface");
+    let ce = report
+        .counterexample
+        .expect("the injected fault must surface");
     assert!(!ce.schedule.is_empty());
 
     let trace = ce.to_trace(cfg.seed, bc.n(), "injected invert_gcd_check fault");
@@ -101,10 +138,18 @@ fn fault_also_surfaces_as_a_false_election_on_an_unsolvable_instance() {
     // flag that too.
     let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
     assert!(!elect_succeeds(&bc));
-    let fault = ElectFault { invert_gcd_check: true };
-    let cfg = RunConfig { seed: 11, ..RunConfig::default() };
+    let fault = ElectFault {
+        invert_gcd_check: true,
+    };
+    let cfg = RunConfig {
+        seed: 11,
+        ..RunConfig::default()
+    };
     let report = explore_elect_with_fault(&bc, cfg, &explore_cfg(64, 8), fault);
-    assert!(report.counterexample.is_some(), "false election went unnoticed");
+    assert!(
+        report.counterexample.is_some(),
+        "false election went unnoticed"
+    );
 }
 
 #[test]
@@ -112,15 +157,23 @@ fn recorded_exploration_counterexample_replays_deterministically() {
     // A counterexample's trace is a complete witness: strict replay of
     // its schedule under the same seed re-derives the same outcomes.
     let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 2, 3]).unwrap();
-    let fault = ElectFault { invert_gcd_check: true };
-    let cfg = RunConfig { seed: 13, ..RunConfig::default() };
+    let fault = ElectFault {
+        invert_gcd_check: true,
+    };
+    let cfg = RunConfig {
+        seed: 13,
+        ..RunConfig::default()
+    };
     let report = explore_elect_with_fault(&bc, cfg, &explore_cfg(32, 4), fault);
     let ce = report.counterexample.expect("fault surfaces");
 
     let mut scheduler = qelect_agentsim::ReplayScheduler::strict(ce.schedule.clone());
     let replayed = qelect_agentsim::run_gated_with(
         &bc,
-        RunConfig { record_trace: true, ..cfg },
+        RunConfig {
+            record_trace: true,
+            ..cfg
+        },
         qelect::elect::elect_agents(bc.r(), fault),
         &mut scheduler,
     );

@@ -24,8 +24,16 @@ fn small_config(workers: usize) -> SweepConfig {
         seed0: 42,
         repeats: 2,
         buckets: vec![
-            SweepBucket { n_lo: 5, n_hi: 8, p: 0.3 },
-            SweepBucket { n_lo: 8, n_hi: 11, p: 0.2 },
+            SweepBucket {
+                n_lo: 5,
+                n_hi: 8,
+                p: 0.3,
+            },
+            SweepBucket {
+                n_lo: 8,
+                n_hi: 11,
+                p: 0.2,
+            },
         ],
     }
 }
@@ -38,7 +46,10 @@ fn small_config(workers: usize) -> SweepConfig {
 fn worker_count_does_not_change_aggregates() {
     let base = run_sweep(&small_config(1));
     assert!(base.all_agree(), "ELECT must agree with the gcd oracle");
-    assert!(base.total_valid > 0, "the seed range must produce counted trials");
+    assert!(
+        base.total_valid > 0,
+        "the seed range must produce counted trials"
+    );
     for workers in [2usize, 8] {
         let got = run_sweep(&small_config(workers));
         assert_eq!(got.buckets, base.buckets, "{workers} workers");
@@ -100,7 +111,10 @@ fn petersen_counterexample_is_pinned() {
 #[test]
 fn committed_c6_trace_replays_identically_under_cached_path() {
     use qelect_agentsim::AgentOutcome;
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/traces/c6_two_leaders.json");
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/traces/c6_two_leaders.json"
+    );
     let trace = Trace::load(path).expect("committed trace parses");
     let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
 
@@ -115,10 +129,20 @@ fn committed_c6_trace_replays_identically_under_cached_path() {
             .iter()
             .filter(|o| **o == AgentOutcome::Leader)
             .count();
-        assert_eq!(leaders, 2, "{label}: the witness double-elects: {:?}", report.outcomes);
+        assert_eq!(
+            leaders, 2,
+            "{label}: the witness double-elects: {:?}",
+            report.outcomes
+        );
         assert!(!report.clean_election(), "{label}");
-        assert_eq!(report.trace, trace.schedule, "{label}: schedule re-recorded");
-        assert_eq!(report.events, trace.events, "{label}: event log re-recorded");
+        assert_eq!(
+            report.trace, trace.schedule,
+            "{label}: schedule re-recorded"
+        );
+        assert_eq!(
+            report.events, trace.events,
+            "{label}: event log re-recorded"
+        );
     }
     assert_eq!(cold.outcomes, warm.outcomes);
 }

@@ -11,11 +11,12 @@ use qelect_graph::{families, Bicolored};
 fn native_leader(bc: &Bicolored, ids: &[u64], seed: u64) -> Option<usize> {
     let agents: Vec<GatedAgent> = ids
         .iter()
-        .map(|&id| -> GatedAgent {
-            Box::new(move |ctx| drive(&mut QuantMachine::new(id), ctx))
-        })
+        .map(|&id| -> GatedAgent { Box::new(move |ctx| drive(&mut QuantMachine::new(id), ctx)) })
         .collect();
-    let cfg = RunConfig { seed, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed,
+        ..RunConfig::default()
+    };
     let report = run_gated(bc, cfg, agents);
     assert!(
         report.clean_election(),
@@ -34,7 +35,11 @@ fn transformed_leader(bc: &Bicolored, ids: &[u64], seed: u64) -> Option<usize> {
         .collect();
     let report = net.run(agents);
     assert!(!report.deadlocked, "transformed run deadlocked");
-    assert!(report.clean_election(), "transformed: {:?}", report.outcomes);
+    assert!(
+        report.clean_election(),
+        "transformed: {:?}",
+        report.outcomes
+    );
     report.leader
 }
 

@@ -28,7 +28,9 @@ fn instance_strategy() -> impl Strategy<Value = Bicolored> {
         let mut homes: Vec<usize> = Vec::new();
         let mut x = seed;
         while homes.len() < r {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = (x >> 33) as usize % n;
             if !homes.contains(&v) {
                 homes.push(v);
