@@ -92,10 +92,7 @@ pub trait MobileCtx {
     /// Atomically inspect-and-mutate the current node's whiteboard (one
     /// mutual-exclusion access). This is the primitive behind "the first
     /// agent to write wins" arbitration.
-    fn with_board<R>(
-        &mut self,
-        f: impl FnOnce(&mut Whiteboard) -> R,
-    ) -> Result<R, Interrupt>;
+    fn with_board<R>(&mut self, f: impl FnOnce(&mut Whiteboard) -> R) -> Result<R, Interrupt>;
 
     /// Traverse the edge behind the given local port. Returns nothing;
     /// the new node's data is observable through the other methods.
@@ -104,14 +101,23 @@ pub trait MobileCtx {
     /// Block until the current node's whiteboard satisfies the predicate.
     /// The runtime re-evaluates only when the board version changes, and
     /// detects global deadlocks.
-    fn wait_until(
-        &mut self,
-        pred: impl Fn(&Whiteboard) -> bool,
-    ) -> Result<(), Interrupt>;
+    fn wait_until(&mut self, pred: impl Fn(&Whiteboard) -> bool) -> Result<(), Interrupt>;
 
     /// Record a named checkpoint in the metrics stream (free: does not
     /// count as a move or board access).
     fn checkpoint(&mut self, label: &str);
+
+    /// Open a named phase span (free: does not count as a move or board
+    /// access). Spans nest; every open must be matched by a
+    /// [`MobileCtx::span_close`] with the same name, innermost first.
+    /// Engines without phase accounting ignore the call.
+    fn span_open(&mut self, _name: &str) {}
+
+    /// Close the innermost open phase span, which must be named `name`.
+    /// Engines without phase accounting ignore the call; the engines
+    /// that account close any span left open when the agent's program
+    /// returns, so early exits via `?` don't lose the phase's work.
+    fn span_close(&mut self, _name: &str) {}
 
     /// All local ports at the current node: `0..degree`.
     fn ports(&mut self) -> Vec<LocalPort> {

@@ -11,7 +11,7 @@
 use crate::color::{Color, ColorRegistry};
 use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
 use crate::gated::RunReport;
-use crate::metrics::{AgentMetrics, Checkpoint, Metrics};
+use crate::metrics::{AgentMetrics, Checkpoint, Metrics, SpanTracker};
 use crate::sign::{Sign, SignKind};
 use crate::whiteboard::Whiteboard;
 use parking_lot::{Condvar, Mutex};
@@ -57,6 +57,7 @@ struct FreeShared {
     graph: Graph,
     boards: Vec<BoardCell>,
     metrics: Vec<AgentMetrics>,
+    trackers: Vec<SpanTracker>,
     checkpoints: Mutex<Vec<Checkpoint>>,
     ops: AtomicU64,
     interrupt: AtomicU8,
@@ -134,10 +135,7 @@ impl MobileCtx for FreeCtx {
         Ok(board.signs().to_vec())
     }
 
-    fn with_board<R>(
-        &mut self,
-        f: impl FnOnce(&mut Whiteboard) -> R,
-    ) -> Result<R, Interrupt> {
+    fn with_board<R>(&mut self, f: impl FnOnce(&mut Whiteboard) -> R) -> Result<R, Interrupt> {
         self.shared.charge_op()?;
         self.shared.metrics[self.id]
             .accesses
@@ -178,10 +176,7 @@ impl MobileCtx for FreeCtx {
         Ok(())
     }
 
-    fn wait_until(
-        &mut self,
-        pred: impl Fn(&Whiteboard) -> bool,
-    ) -> Result<(), Interrupt> {
+    fn wait_until(&mut self, pred: impl Fn(&Whiteboard) -> bool) -> Result<(), Interrupt> {
         let cell = &self.shared.boards[self.node];
         let mut board = cell.board.lock();
         loop {
@@ -198,8 +193,7 @@ impl MobileCtx for FreeCtx {
                 return Ok(());
             }
             // Timed wait so interrupts are noticed even without traffic.
-            cell.changed
-                .wait_for(&mut board, Duration::from_millis(5));
+            cell.changed.wait_for(&mut board, Duration::from_millis(5));
         }
     }
 
@@ -211,6 +205,25 @@ impl MobileCtx for FreeCtx {
             moves,
             accesses,
         });
+    }
+
+    fn span_open(&mut self, name: &str) {
+        // The cache counters are process-global, so under genuine
+        // parallelism a span's cache delta is a superset of its own
+        // traffic — same semantics as `Metrics::canon_cache`.
+        self.shared.trackers[self.id].open(
+            name,
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
+    }
+
+    fn span_close(&mut self, name: &str) {
+        self.shared.trackers[self.id].close(
+            name,
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
     }
 }
 
@@ -229,9 +242,13 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
     let shared = Arc::new(FreeShared {
         graph: bc.graph().clone(),
         boards: (0..bc.n())
-            .map(|_| BoardCell { board: Mutex::new(Whiteboard::new()), changed: Condvar::new() })
+            .map(|_| BoardCell {
+                board: Mutex::new(Whiteboard::new()),
+                changed: Condvar::new(),
+            })
             .collect(),
         metrics: (0..r).map(|_| AgentMetrics::default()).collect(),
+        trackers: (0..r).map(SpanTracker::new).collect(),
         checkpoints: Mutex::new(Vec::new()),
         ops: AtomicU64::new(0),
         interrupt: AtomicU8::new(INT_NONE),
@@ -258,11 +275,23 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
             let color = colors[i];
             let hb = bc.homebases()[i];
             scope.spawn(move || {
-                let mut ctx = FreeCtx { shared, id: i, color, node: hb, entry: None };
+                let mut ctx = FreeCtx {
+                    shared,
+                    id: i,
+                    color,
+                    node: hb,
+                    entry: None,
+                };
                 let outcome = match program(&mut ctx) {
                     Ok(o) => o,
                     Err(int) => AgentOutcome::Interrupted(int),
                 };
+                // Seal spans an interrupt (or a sloppy protocol) left
+                // open, so their work still reaches the breakdown.
+                ctx.shared.trackers[i].force_close_all(
+                    ctx.shared.metrics[i].snapshot(),
+                    Some(qelect_graph::cache::global().stats()),
+                );
                 outcomes.lock()[i] = outcome;
                 done.fetch_add(1, Ordering::Release);
             });
@@ -304,6 +333,7 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         steps: shared.ops.load(Ordering::Relaxed),
         preemptions: 0,
         canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
+        spans: shared.trackers.iter().flat_map(|t| t.take()).collect(),
     };
     RunReport {
         outcomes,
@@ -356,13 +386,24 @@ mod tests {
                         false
                     }
                 })?;
-                Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                Ok(if won {
+                    AgentOutcome::Leader
+                } else {
+                    AgentOutcome::Defeated
+                })
             })
         };
         for seed in 0..8 {
-            let cfg = FreeRunConfig { seed, ..FreeRunConfig::default() };
+            let cfg = FreeRunConfig {
+                seed,
+                ..FreeRunConfig::default()
+            };
             let report = run_free(&bc, cfg, vec![mk(), mk()]);
-            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+            assert!(
+                report.clean_election(),
+                "seed {seed}: {:?}",
+                report.outcomes
+            );
         }
     }
 
@@ -420,7 +461,10 @@ mod tests {
         let spinner: FreeAgent = Box::new(|ctx: &mut FreeCtx| loop {
             ctx.move_via(LocalPort(0))?;
         });
-        let cfg = FreeRunConfig { max_ops: 500, ..FreeRunConfig::default() };
+        let cfg = FreeRunConfig {
+            max_ops: 500,
+            ..FreeRunConfig::default()
+        };
         let report = run_free(&bc, cfg, vec![spinner]);
         assert_eq!(report.interrupted, Some(Interrupt::StepLimit));
     }

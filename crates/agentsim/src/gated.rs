@@ -16,7 +16,7 @@
 
 use crate::color::{Color, ColorRegistry};
 use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
-use crate::metrics::{AgentMetrics, Checkpoint, Metrics};
+use crate::metrics::{AgentMetrics, Checkpoint, Metrics, SpanTracker};
 use crate::sched::{Policy, Scheduler};
 use crate::sign::{Sign, SignKind};
 use crate::trace::{sign_kind_code, PrimOp, Trace, TraceEvent};
@@ -127,6 +127,7 @@ struct Shared {
     graph: Graph,
     boards: Vec<Mutex<Whiteboard>>,
     metrics: Vec<AgentMetrics>,
+    trackers: Vec<SpanTracker>,
     checkpoints: Mutex<Vec<Checkpoint>>,
     port_seed: u64,
     scramble_ports: bool,
@@ -153,7 +154,11 @@ enum Msg {
     /// Agent requests to perform one primitive.
     Op { agent: usize },
     /// Agent waits for the board at `node` to move past `seen`.
-    Wait { agent: usize, node: usize, seen: Option<u64> },
+    Wait {
+        agent: usize,
+        node: usize,
+        seen: Option<u64>,
+    },
     /// Agent finished.
     Finished { agent: usize, outcome: AgentOutcome },
 }
@@ -215,7 +220,11 @@ impl GatedCtx {
 
     fn record(&self, tick: u64, op: PrimOp) {
         if self.shared.record_events {
-            self.shared.events.lock().push(TraceEvent { tick, agent: self.id, op });
+            self.shared.events.lock().push(TraceEvent {
+                tick,
+                agent: self.id,
+                op,
+            });
         }
     }
 }
@@ -241,10 +250,7 @@ impl MobileCtx for GatedCtx {
         Ok(board.signs().to_vec())
     }
 
-    fn with_board<R>(
-        &mut self,
-        f: impl FnOnce(&mut Whiteboard) -> R,
-    ) -> Result<R, Interrupt> {
+    fn with_board<R>(&mut self, f: impl FnOnce(&mut Whiteboard) -> R) -> Result<R, Interrupt> {
         let tick = self.gate_op()?;
         self.count_access();
         let mut board = self.shared.boards[self.node].lock();
@@ -260,7 +266,13 @@ impl MobileCtx for GatedCtx {
                 .iter()
                 .map(|s| sign_kind_code(s.kind))
                 .collect();
-            self.record(tick, PrimOp::Write { node: self.node, posted });
+            self.record(
+                tick,
+                PrimOp::Write {
+                    node: self.node,
+                    posted,
+                },
+            );
         }
         Ok(result)
     }
@@ -293,21 +305,28 @@ impl MobileCtx for GatedCtx {
         Ok(())
     }
 
-    fn wait_until(
-        &mut self,
-        pred: impl Fn(&Whiteboard) -> bool,
-    ) -> Result<(), Interrupt> {
+    fn wait_until(&mut self, pred: impl Fn(&Whiteboard) -> bool) -> Result<(), Interrupt> {
         let mut seen: Option<u64> = None;
         loop {
             self.req_tx
-                .send(Msg::Wait { agent: self.id, node: self.node, seen })
+                .send(Msg::Wait {
+                    agent: self.id,
+                    node: self.node,
+                    seen,
+                })
                 .map_err(|_| Interrupt::Cancelled)?;
             match recv_spin(&self.grant_rx) {
                 Ok(Grant::Go(tick)) => {
                     self.count_access();
                     let board = self.shared.boards[self.node].lock();
                     let woke = pred(&board);
-                    self.record(tick, PrimOp::Wait { node: self.node, woke });
+                    self.record(
+                        tick,
+                        PrimOp::Wait {
+                            node: self.node,
+                            woke,
+                        },
+                    );
                     if woke {
                         self.shared.metrics[self.id]
                             .waits
@@ -331,6 +350,22 @@ impl MobileCtx for GatedCtx {
             accesses,
         });
     }
+
+    fn span_open(&mut self, name: &str) {
+        self.shared.trackers[self.id].open(
+            name,
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
+    }
+
+    fn span_close(&mut self, name: &str) {
+        self.shared.trackers[self.id].close(
+            name,
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
+    }
 }
 
 /// A boxed agent program for the gated engine.
@@ -349,7 +384,10 @@ pub fn run_gated_staggered(
     agents: Vec<GatedAgent>,
     awake: &[usize],
 ) -> RunReport {
-    assert!(!awake.is_empty(), "at least one agent must wake spontaneously");
+    assert!(
+        !awake.is_empty(),
+        "at least one agent must wake spontaneously"
+    );
     let awake: Vec<usize> = awake.to_vec();
     let wrapped: Vec<GatedAgent> = agents
         .into_iter()
@@ -361,9 +399,7 @@ pub fn run_gated_staggered(
                 Box::new(move |ctx: &mut GatedCtx| {
                     // Sleep until anything beyond the pre-placed signs
                     // appears on my home whiteboard.
-                    ctx.wait_until(|wb| {
-                        wb.signs().iter().any(|s| s.kind != SignKind::HomeBase)
-                    })?;
+                    ctx.wait_until(|wb| wb.signs().iter().any(|s| s.kind != SignKind::HomeBase))?;
                     program(ctx)
                 })
             }
@@ -421,6 +457,7 @@ pub fn run_gated_with(
         graph: bc.graph().clone(),
         boards: (0..bc.n()).map(|_| Mutex::new(Whiteboard::new())).collect(),
         metrics: (0..r).map(|_| AgentMetrics::default()).collect(),
+        trackers: (0..r).map(SpanTracker::new).collect(),
         checkpoints: Mutex::new(Vec::new()),
         port_seed: cfg.seed.wrapping_add(0x9047_5EED),
         scramble_ports: cfg.scramble_ports,
@@ -429,7 +466,9 @@ pub fn run_gated_with(
     });
     // Pre-mark home-bases.
     for (i, &hb) in bc.homebases().iter().enumerate() {
-        shared.boards[hb].lock().post(Sign::tag(colors[i], SignKind::HomeBase));
+        shared.boards[hb]
+            .lock()
+            .post(Sign::tag(colors[i], SignKind::HomeBase));
     }
 
     let (req_tx, req_rx) = unbounded::<Msg>();
@@ -460,7 +499,16 @@ pub fn run_gated_with(
                     Ok(o) => o,
                     Err(i) => AgentOutcome::Interrupted(i),
                 };
-                let _ = tx.send(Msg::Finished { agent: ctx.id, outcome });
+                // Seal spans an interrupt (or a sloppy protocol) left
+                // open, so their work still reaches the breakdown.
+                ctx.shared.trackers[ctx.id].force_close_all(
+                    ctx.shared.metrics[ctx.id].snapshot(),
+                    Some(qelect_graph::cache::global().stats()),
+                );
+                let _ = tx.send(Msg::Finished {
+                    agent: ctx.id,
+                    outcome,
+                });
             }));
         }
         drop(req_tx);
@@ -471,20 +519,18 @@ pub fn run_gated_with(
         let mut aborting: Option<Interrupt> = None;
         let mut last_pick: Option<usize> = None;
 
-        let apply = |msg: Msg,
-                     st: &mut Vec<St>,
-                     outcomes: &mut Vec<AgentOutcome>,
-                     live: &mut usize| {
-            match msg {
-                Msg::Op { agent } => st[agent] = St::ReadyOp,
-                Msg::Wait { agent, node, seen } => st[agent] = St::Waiting { node, seen },
-                Msg::Finished { agent, outcome } => {
-                    st[agent] = St::Done;
-                    outcomes[agent] = outcome;
-                    *live -= 1;
+        let apply =
+            |msg: Msg, st: &mut Vec<St>, outcomes: &mut Vec<AgentOutcome>, live: &mut usize| {
+                match msg {
+                    Msg::Op { agent } => st[agent] = St::ReadyOp,
+                    Msg::Wait { agent, node, seen } => st[agent] = St::Waiting { node, seen },
+                    Msg::Finished { agent, outcome } => {
+                        st[agent] = St::Done;
+                        outcomes[agent] = outcome;
+                        *live -= 1;
+                    }
                 }
-            }
-        };
+            };
 
         while live > 0 {
             // Ensure every live agent is parked (or done).
@@ -585,6 +631,7 @@ pub fn run_gated_with(
         steps,
         preemptions,
         canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
+        spans: shared.trackers.iter().flat_map(|t| t.take()).collect(),
     };
 
     let events = std::mem::take(&mut *shared.events.lock());
@@ -631,7 +678,11 @@ mod tests {
                 let mine = board
                     .iter()
                     .any(|s| s.kind == SignKind::HomeBase && s.color == ctx.color());
-                Ok(if mine { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                Ok(if mine {
+                    AgentOutcome::Leader
+                } else {
+                    AgentOutcome::Defeated
+                })
             })
         };
         let report = run_gated(&bc, RunConfig::default(), vec![mk(), mk()]);
@@ -662,7 +713,11 @@ mod tests {
                 let home = board
                     .iter()
                     .any(|s| s.kind == SignKind::HomeBase && s.color == ctx.color());
-                Ok(if home { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                Ok(if home {
+                    AgentOutcome::Leader
+                } else {
+                    AgentOutcome::Defeated
+                })
             })],
         );
         assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
@@ -706,16 +761,27 @@ mod tests {
                         false
                     }
                 })?;
-                Ok(if won { AgentOutcome::Leader } else { AgentOutcome::Defeated })
+                Ok(if won {
+                    AgentOutcome::Leader
+                } else {
+                    AgentOutcome::Defeated
+                })
             })
         };
         for seed in 0..5 {
-            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::default()
+            };
             let report = run_gated(&bc, cfg, vec![mk(), mk()]);
             // Whatever the schedule, exactly one agent wins... if both
             // reached node 2. An agent circling C3 may need up to 3 hops;
             // the loop above guarantees arrival. So: exactly one Leader.
-            assert!(report.clean_election(), "seed {seed}: {:?}", report.outcomes);
+            assert!(
+                report.clean_election(),
+                "seed {seed}: {:?}",
+                report.outcomes
+            );
         }
     }
 
@@ -742,11 +808,12 @@ mod tests {
         let bc = instance(4, &[0]);
         let report = run_gated(
             &bc,
-            RunConfig { max_steps: 100, ..RunConfig::default() },
-            vec![Box::new(|ctx: &mut GatedCtx| {
-                loop {
-                    ctx.move_via(LocalPort(0))?;
-                }
+            RunConfig {
+                max_steps: 100,
+                ..RunConfig::default()
+            },
+            vec![Box::new(|ctx: &mut GatedCtx| loop {
+                ctx.move_via(LocalPort(0))?;
             })],
         );
         assert_eq!(report.interrupted, Some(Interrupt::StepLimit));
@@ -805,7 +872,10 @@ mod tests {
             })
         };
         let run = |seed| {
-            let cfg = RunConfig { seed, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::default()
+            };
             let rep = run_gated(&bc, cfg, vec![mk(), mk()]);
             (rep.metrics.per_agent.clone(), rep.metrics.steps)
         };
@@ -824,6 +894,7 @@ mod tests {
             graph: bc.graph().clone(),
             boards: Vec::new(),
             metrics: Vec::new(),
+            trackers: Vec::new(),
             checkpoints: Mutex::new(Vec::new()),
             port_seed: 99,
             scramble_ports: true,
@@ -854,7 +925,11 @@ mod tests {
             })
         };
         let run = |seed| {
-            let cfg = RunConfig { seed, record_trace: true, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed,
+                record_trace: true,
+                ..RunConfig::default()
+            };
             run_gated(&bc, cfg, vec![mk(), mk()]).trace
         };
         let t1 = run(5);
@@ -864,7 +939,10 @@ mod tests {
         let t3 = run(6);
         assert_ne!(t1, t3, "different seed ⇒ different interleaving (whp)");
         // Tracing off ⇒ empty trace.
-        let cfg = RunConfig { seed: 5, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 5,
+            ..RunConfig::default()
+        };
         assert!(run_gated(&bc, cfg, vec![mk(), mk()]).trace.is_empty());
     }
 
@@ -879,7 +957,10 @@ mod tests {
                 Ok(AgentOutcome::Defeated)
             })
         };
-        let cfg = RunConfig { policy: Policy::Lockstep, ..RunConfig::default() };
+        let cfg = RunConfig {
+            policy: Policy::Lockstep,
+            ..RunConfig::default()
+        };
         let report = run_gated(&bc, cfg, vec![mk(), mk()]);
         assert_eq!(report.metrics.total_moves(), 8);
         assert!(report.interrupted.is_none());

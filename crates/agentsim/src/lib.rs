@@ -61,6 +61,7 @@ pub mod ctx;
 pub mod explore;
 pub mod freerun;
 pub mod gated;
+pub mod json;
 pub mod message_net;
 pub mod metrics;
 pub mod sched;
@@ -74,7 +75,7 @@ pub use color::{Color, ColorRegistry};
 pub use ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
 pub use explore::{explore_schedules, shrink_schedule, shrink_trace, ExploreConfig, ExploreReport};
 pub use gated::{run_gated, run_gated_with, GatedCtx, RunConfig, RunReport};
-pub use metrics::{AgentMetrics, Metrics};
+pub use metrics::{AgentMetrics, Metrics, PhaseBreakdown, PhaseSpan, SpanTracker, UNSPANNED};
 pub use sched::{
     LockstepScheduler, RandomScheduler, ReplayScheduler, RoundRobinScheduler, Scheduler,
 };

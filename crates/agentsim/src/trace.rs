@@ -14,6 +14,7 @@
 //! [`ReplayScheduler`](crate::sched::ReplayScheduler) in regression
 //! tests.
 
+use crate::json;
 use crate::sign::SignKind;
 use std::fmt;
 use std::path::Path;
@@ -148,11 +149,11 @@ impl Trace {
         let mut out = String::with_capacity(256 + 4 * self.schedule.len());
         out.push_str("{\n");
         out.push_str("  \"version\": 1,\n");
-        out.push_str(&format!("  \"label\": {},\n", json_string(&self.label)));
+        out.push_str(&format!("  \"label\": {},\n", json::escape(&self.label)));
         // Seeds use the full u64 range; JSON numbers only cover 2^53,
         // so the seed travels as a decimal string.
         out.push_str(&format!("  \"seed\": \"{}\",\n", self.seed));
-        out.push_str(&format!("  \"policy\": {},\n", json_string(&self.policy)));
+        out.push_str(&format!("  \"policy\": {},\n", json::escape(&self.policy)));
         out.push_str(&format!("  \"agents\": {},\n", self.agents));
         out.push_str(&format!("  \"nodes\": {},\n", self.nodes));
         out.push_str("  \"schedule\": [");
@@ -179,7 +180,9 @@ impl Trace {
     /// Parse the trace JSON dialect.
     pub fn from_json(text: &str) -> Result<Trace, TraceError> {
         let value = json::parse(text).map_err(TraceError)?;
-        let obj = value.as_object().ok_or_else(|| bad("top level must be an object"))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| bad("top level must be an object"))?;
         let label = get_str(obj, "label").unwrap_or_default();
         let seed = match json::get(obj, "seed") {
             Some(json::Value::Str(s)) => s
@@ -208,7 +211,15 @@ impl Trace {
                 events.push(event_from_json(item)?);
             }
         }
-        Ok(Trace { label, seed, policy, agents, nodes, schedule, events })
+        Ok(Trace {
+            label,
+            seed,
+            policy,
+            agents,
+            nodes,
+            schedule,
+            events,
+        })
     }
 
     /// Write the trace (as JSON) to `path`.
@@ -264,13 +275,20 @@ fn event_to_json(ev: &TraceEvent) -> String {
 }
 
 fn event_from_json(value: &json::Value) -> Result<TraceEvent, TraceError> {
-    let obj = value.as_object().ok_or_else(|| bad("event must be an object"))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| bad("event must be an object"))?;
     let tick = get_usize(obj, "tick")? as u64;
     let agent = get_usize(obj, "agent")?;
     let op_name = get_str(obj, "op").ok_or_else(|| bad("event missing 'op'"))?;
     let op = match op_name.as_str() {
-        "move" => PrimOp::Move { from: get_usize(obj, "from")?, to: get_usize(obj, "to")? },
-        "read" => PrimOp::Read { node: get_usize(obj, "node")? },
+        "move" => PrimOp::Move {
+            from: get_usize(obj, "from")?,
+            to: get_usize(obj, "to")?,
+        },
+        "read" => PrimOp::Read {
+            node: get_usize(obj, "node")?,
+        },
         "write" => {
             let posted = match json::get(obj, "posted") {
                 Some(json::Value::Arr(items)) => items
@@ -283,245 +301,21 @@ fn event_from_json(value: &json::Value) -> Result<TraceEvent, TraceError> {
                     .collect::<Result<Vec<u32>, TraceError>>()?,
                 _ => Vec::new(),
             };
-            PrimOp::Write { node: get_usize(obj, "node")?, posted }
+            PrimOp::Write {
+                node: get_usize(obj, "node")?,
+                posted,
+            }
         }
         "wait" => {
             let woke = matches!(json::get(obj, "woke"), Some(json::Value::Bool(true)));
-            PrimOp::Wait { node: get_usize(obj, "node")?, woke }
+            PrimOp::Wait {
+                node: get_usize(obj, "node")?,
+                woke,
+            }
         }
         other => return Err(bad(format!("unknown op '{other}'"))),
     };
     Ok(TraceEvent { tick, agent, op })
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// The minimal JSON reader backing [`Trace::from_json`]: objects,
-/// arrays, strings (with the common escapes), numbers, booleans, null.
-mod json {
-    /// A parsed JSON value.
-    #[derive(Debug, Clone, PartialEq)]
-    pub enum Value {
-        /// `null`.
-        Null,
-        /// `true` / `false`.
-        Bool(bool),
-        /// Any number (f64 is exact for the integers traces use).
-        Num(f64),
-        /// A string.
-        Str(String),
-        /// An array.
-        Arr(Vec<Value>),
-        /// An object, in source order.
-        Obj(Vec<(String, Value)>),
-    }
-
-    impl Value {
-        pub fn as_object(&self) -> Option<&[(String, Value)]> {
-            match self {
-                Value::Obj(fields) => Some(fields),
-                _ => None,
-            }
-        }
-
-        pub fn as_num(&self) -> Option<f64> {
-            match self {
-                Value::Num(n) => Some(*n),
-                _ => None,
-            }
-        }
-    }
-
-    /// First value for `key` in an object's fields.
-    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
-        obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-
-    pub fn parse(text: &str) -> Result<Value, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing input at byte {pos}"));
-        }
-        Ok(value)
-    }
-
-    fn skip_ws(bytes: &[u8], pos: &mut usize) {
-        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
-            *pos += 1;
-        }
-    }
-
-    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b) {
-            *pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", b as char, pos))
-        }
-    }
-
-    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b'{') => parse_object(bytes, pos),
-            Some(b'[') => parse_array(bytes, pos),
-            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
-            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
-            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
-            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
-            Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
-            _ => Err(format!("unexpected input at byte {pos}")),
-        }
-    }
-
-    fn parse_lit(
-        bytes: &[u8],
-        pos: &mut usize,
-        lit: &str,
-        value: Value,
-    ) -> Result<Value, String> {
-        if bytes[*pos..].starts_with(lit.as_bytes()) {
-            *pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {pos}"))
-        }
-    }
-
-    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        let start = *pos;
-        if bytes.get(*pos) == Some(&b'-') {
-            *pos += 1;
-        }
-        while *pos < bytes.len()
-            && (bytes[*pos].is_ascii_digit()
-                || bytes[*pos] == b'.'
-                || bytes[*pos] == b'e'
-                || bytes[*pos] == b'E'
-                || bytes[*pos] == b'+'
-                || bytes[*pos] == b'-')
-        {
-            *pos += 1;
-        }
-        std::str::from_utf8(&bytes[start..*pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-        expect(bytes, pos, b'"')?;
-        let mut out = String::new();
-        loop {
-            match bytes.get(*pos) {
-                None => return Err("unterminated string".into()),
-                Some(b'"') => {
-                    *pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    *pos += 1;
-                    match bytes.get(*pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b'u') => {
-                            let hex = bytes
-                                .get(*pos + 1..*pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or("bad \\u escape")?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| "bad \\u escape".to_string())?;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            *pos += 4;
-                        }
-                        _ => return Err("bad escape".into()),
-                    }
-                    *pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is valid UTF-8
-                    // because it arrived as &str).
-                    let s = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    *pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'[')?;
-        let mut items = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b']') {
-            *pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(parse_value(bytes, pos)?);
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b']') => {
-                    *pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-            }
-        }
-    }
-
-    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
-        expect(bytes, pos, b'{')?;
-        let mut fields = Vec::new();
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) == Some(&b'}') {
-            *pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            skip_ws(bytes, pos);
-            let key = parse_string(bytes, pos)?;
-            expect(bytes, pos, b':')?;
-            let value = parse_value(bytes, pos)?;
-            fields.push((key, value));
-            skip_ws(bytes, pos);
-            match bytes.get(*pos) {
-                Some(b',') => *pos += 1,
-                Some(b'}') => {
-                    *pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -537,14 +331,32 @@ mod tests {
             nodes: 6,
             schedule: vec![0, 1, 0, 1, 1, 0],
             events: vec![
-                TraceEvent { tick: 1, agent: 0, op: PrimOp::Read { node: 0 } },
+                TraceEvent {
+                    tick: 1,
+                    agent: 0,
+                    op: PrimOp::Read { node: 0 },
+                },
                 TraceEvent {
                     tick: 2,
                     agent: 1,
-                    op: PrimOp::Write { node: 3, posted: vec![sign_kind_code(SignKind::Custom(11))] },
+                    op: PrimOp::Write {
+                        node: 3,
+                        posted: vec![sign_kind_code(SignKind::Custom(11))],
+                    },
                 },
-                TraceEvent { tick: 3, agent: 0, op: PrimOp::Move { from: 0, to: 1 } },
-                TraceEvent { tick: 4, agent: 1, op: PrimOp::Wait { node: 3, woke: false } },
+                TraceEvent {
+                    tick: 3,
+                    agent: 0,
+                    op: PrimOp::Move { from: 0, to: 1 },
+                },
+                TraceEvent {
+                    tick: 4,
+                    agent: 1,
+                    op: PrimOp::Wait {
+                        node: 3,
+                        woke: false,
+                    },
+                },
             ],
         }
     }
@@ -579,7 +391,10 @@ mod tests {
 
     #[test]
     fn seed_survives_full_u64_range() {
-        let t = Trace { seed: u64::MAX, ..Trace::default() };
+        let t = Trace {
+            seed: u64::MAX,
+            ..Trace::default()
+        };
         let parsed = Trace::from_json(&t.to_json()).unwrap();
         assert_eq!(parsed.seed, u64::MAX);
     }
@@ -609,7 +424,10 @@ mod tests {
     fn rejects_malformed_json() {
         assert!(Trace::from_json("{").is_err());
         assert!(Trace::from_json("[]").is_err());
-        assert!(Trace::from_json(r#"{"agents":2,"nodes":3}"#).is_err(), "missing schedule");
+        assert!(
+            Trace::from_json(r#"{"agents":2,"nodes":3}"#).is_err(),
+            "missing schedule"
+        );
         assert!(Trace::from_json(r#"{"agents":2,"nodes":3,"schedule":["x"]}"#).is_err());
     }
 }

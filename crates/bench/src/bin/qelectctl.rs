@@ -9,6 +9,8 @@
 //! cargo run -p qelect-bench --bin qelectctl -- explore cycle:6 --agents 0,3 \
 //!     --target anon --emit-trace tests/traces/c6_two_leaders.json
 //! cargo run -p qelect-bench --release --bin qelectctl -- sweep --trials 100 --workers 8
+//! cargo run -p qelect-bench --release --bin qelectctl -- audit cycle:12@0,1,3 petersen@0,1 \
+//!     --json out.json
 //! ```
 
 use qelect::anonymous::{ring_probe, ring_probe_counterexample};
@@ -17,9 +19,10 @@ use qelect_agentsim::explore::shrink_schedule;
 use qelect_agentsim::gated::{run_gated_with, GatedAgent};
 use qelect_agentsim::AgentOutcome;
 use qelect_bench::cli::{
-    parse_command, Command, ExploreInvocation, ExploreTarget, Invocation, Protocol,
-    SweepInvocation,
+    parse_command, AuditInvocation, Command, ExploreInvocation, ExploreTarget, Invocation,
+    Protocol, SweepInvocation,
 };
+use qelect_bench::report;
 use qelect_graph::Bicolored;
 
 fn main() {
@@ -28,6 +31,70 @@ fn main() {
         Ok(Command::Run(inv)) => run(inv),
         Ok(Command::Explore(inv)) => explore(inv),
         Ok(Command::Sweep(inv)) => sweep(inv),
+        Ok(Command::Audit(inv)) => audit(inv),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn write_file(path: &str, text: &str) {
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn audit(inv: AuditInvocation) {
+    let engines: Vec<&str> = inv.config.engines.iter().map(|e| e.name()).collect();
+    println!(
+        "# Phase-resolved audit — {} instances × {} seeds × [{}]\n",
+        inv.config.instances.len(),
+        inv.config.seeds.len(),
+        engines.join(", "),
+    );
+    let audit = match report::run_audit(&inv.config) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", audit.render());
+    let json_text = audit.to_json();
+    if let Some(path) = &inv.json {
+        write_file(path, &json_text);
+        println!("\nJSON report written to {path}");
+    }
+    if inv.write_baseline {
+        write_file(&inv.baseline, &json_text);
+        println!("baseline written to {}", inv.baseline);
+        return;
+    }
+    let baseline_text = match std::fs::read_to_string(&inv.baseline) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "error: cannot read baseline {}: {e} (run with --write-baseline to create it)",
+                inv.baseline
+            );
+            std::process::exit(2);
+        }
+    };
+    match report::check_against_baseline(&audit, &baseline_text, inv.tolerance) {
+        Ok(regressions) if regressions.is_empty() => {
+            println!(
+                "\nbaseline check: OK (tolerance {:.0}%)",
+                inv.tolerance * 100.0
+            );
+        }
+        Ok(regressions) => {
+            for r in &regressions {
+                eprintln!("regression: {r}");
+            }
+            std::process::exit(1);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -49,6 +116,10 @@ fn sweep(inv: SweepInvocation) {
     let report = qelect_bench::sweep::run_sweep(&inv.config);
     qelect_graph::cache::global().set_enabled(true);
     print!("{}", report.render());
+    if let Some(path) = &inv.json {
+        write_file(path, &qelect_bench::report::sweep_to_json(&report));
+        println!("JSON report written to {path}");
+    }
     if !report.all_agree() {
         eprintln!("error: ELECT disagreed with the gcd oracle on some trial");
         std::process::exit(1);
@@ -166,7 +237,11 @@ fn explore(inv: ExploreInvocation) {
         "bound: {} preemptions, budget {} schedules (+{} swarm)",
         inv.preemption_bound, inv.max_schedules, inv.swarm_runs
     );
-    let run_cfg = RunConfig { seed: inv.seed, record_trace: true, ..RunConfig::default() };
+    let run_cfg = RunConfig {
+        seed: inv.seed,
+        record_trace: true,
+        ..RunConfig::default()
+    };
     let ecfg = ExploreConfig {
         preemption_bound: inv.preemption_bound,
         max_schedules: inv.max_schedules,
@@ -213,7 +288,10 @@ fn explore_elect_target(
             let trace = ce.to_trace(
                 run_cfg.seed,
                 bc.n(),
-                &format!("ELECT violation on {} agents {:?}", inv.family_spec, inv.agents),
+                &format!(
+                    "ELECT violation on {} agents {:?}",
+                    inv.family_spec, inv.agents
+                ),
             );
             let shrunk = qelect_agentsim::explore::shrink_trace(&trace, |s| {
                 qelect::replay::elect_schedule_fails(bc, run_cfg, fault, s)
@@ -245,13 +323,17 @@ fn explore_anon_target(
     let report = qelect_agentsim::explore_schedules(
         ecfg,
         |scheduler| {
-            let agents: Vec<GatedAgent> =
-                (0..bc.r()).map(|_| -> GatedAgent { Box::new(ring_probe) }).collect();
+            let agents: Vec<GatedAgent> = (0..bc.r())
+                .map(|_| -> GatedAgent { Box::new(ring_probe) })
+                .collect();
             run_gated_with(bc, run_cfg, agents, scheduler)
         },
         |report| {
-            let leaders =
-                report.outcomes.iter().filter(|o| **o == AgentOutcome::Leader).count();
+            let leaders = report
+                .outcomes
+                .iter()
+                .filter(|o| **o == AgentOutcome::Leader)
+                .count();
             if leaders <= 1 {
                 Ok(())
             } else {
@@ -265,11 +347,16 @@ fn explore_anon_target(
         Some(ce) => {
             println!("double election found (as §1.3 predicts): {}", ce.violation);
             let shrunk = shrink_schedule(&ce.schedule, |s| {
-                let agents: Vec<GatedAgent> =
-                    (0..bc.r()).map(|_| -> GatedAgent { Box::new(ring_probe) }).collect();
+                let agents: Vec<GatedAgent> = (0..bc.r())
+                    .map(|_| -> GatedAgent { Box::new(ring_probe) })
+                    .collect();
                 let mut sched = qelect_agentsim::ReplayScheduler::new(s.to_vec());
                 let rep = run_gated_with(bc, run_cfg, agents, &mut sched);
-                rep.outcomes.iter().filter(|o| **o == AgentOutcome::Leader).count() >= 2
+                rep.outcomes
+                    .iter()
+                    .filter(|o| **o == AgentOutcome::Leader)
+                    .count()
+                    >= 2
             });
             println!(
                 "witness schedule shrunk {} → {} ticks",

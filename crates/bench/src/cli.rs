@@ -44,6 +44,25 @@
 //!            --bucket LO:HI:P      add a size/density bucket (repeatable;
 //!                                  default: the three E5 buckets)
 //!            --no-cache            disable the canonical-form memo cache
+//!            --json PATH           also write the schema-versioned JSON report
+//! ```
+//!
+//! The `audit` subcommand runs the phase-resolved observability report
+//! (per-phase move/access/wait breakdowns, work histograms, cache
+//! deltas, and the fitted Theorem 3.1 constant per family) and gates on
+//! a committed baseline:
+//!
+//! ```text
+//! qelectctl audit <spec[@a0,a1,…]> [more specs…] [options]
+//!
+//! specs:     a family spec plus optional home-bases, e.g. cycle:12@0,1,3
+//!            (default home-base: node 0)
+//! options:   --seeds 0,1,2         run seeds (default 0,1,2)
+//!            --engine E            gated | free | both (default both)
+//!            --json PATH           write the schema-versioned JSON report
+//!            --baseline PATH       baseline file (default BENCH_audit.json)
+//!            --tolerance F         fractional regression tolerance (default 0.25)
+//!            --write-baseline      write the baseline instead of checking it
 //! ```
 
 use qelect_agentsim::sched::Policy;
@@ -126,9 +145,27 @@ pub struct SweepInvocation {
     pub config: crate::sweep::SweepConfig,
     /// Run with the canonical-form memo cache disabled.
     pub no_cache: bool,
+    /// Where to also write the schema-versioned JSON report, if anywhere.
+    pub json: Option<String>,
 }
 
-/// A single-schedule run, a schedule exploration, or a batch sweep.
+/// A fully parsed `audit` invocation.
+#[derive(Debug)]
+pub struct AuditInvocation {
+    /// The audit configuration (instances, seeds, engines).
+    pub config: crate::report::AuditConfig,
+    /// Where to write the schema-versioned JSON report, if anywhere.
+    pub json: Option<String>,
+    /// The committed baseline file the gate compares against.
+    pub baseline: String,
+    /// Fractional regression tolerance of the gate.
+    pub tolerance: f64,
+    /// Write the baseline file instead of checking against it.
+    pub write_baseline: bool,
+}
+
+/// A single-schedule run, a schedule exploration, a batch sweep, or a
+/// phase-resolved audit.
 #[derive(Debug)]
 pub enum Command {
     /// `qelectctl <protocol> <family> …`
@@ -137,6 +174,8 @@ pub enum Command {
     Explore(ExploreInvocation),
     /// `qelectctl sweep …`
     Sweep(SweepInvocation),
+    /// `qelectctl audit …`
+    Audit(AuditInvocation),
 }
 
 /// Parse errors, with a user-facing message.
@@ -183,15 +222,16 @@ pub fn parse_family(spec: &str) -> Result<Graph, ParseError> {
         ("complete", [n]) => families::complete(parse_usize(n, "complete size")?),
         ("hypercube", [d]) => families::hypercube(parse_usize(d, "dimension")?),
         ("torus", [dims]) => {
-            let dims: Result<Vec<usize>, _> =
-                dims.split('x').map(|d| parse_usize(d, "torus dim")).collect();
+            let dims: Result<Vec<usize>, _> = dims
+                .split('x')
+                .map(|d| parse_usize(d, "torus dim"))
+                .collect();
             families::torus(&dims?)
         }
         ("petersen", []) => families::petersen(),
-        ("gp", [n, k]) => families::generalized_petersen(
-            parse_usize(n, "gp n")?,
-            parse_usize(k, "gp k")?,
-        ),
+        ("gp", [n, k]) => {
+            families::generalized_petersen(parse_usize(n, "gp n")?, parse_usize(k, "gp k")?)
+        }
         ("star", [n]) => families::star(parse_usize(n, "leaf count")?),
         ("circulant", [n, offs]) => {
             let offsets: Result<Vec<usize>, _> =
@@ -241,19 +281,27 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, ParseError> {
         match args[i].as_str() {
             "--agents" => {
                 i += 1;
-                let list = args.get(i).ok_or(ParseError("--agents needs a list".into()))?;
-                let parsed: Result<Vec<usize>, _> =
-                    list.split(',').map(|a| parse_usize(a, "agent node")).collect();
+                let list = args
+                    .get(i)
+                    .ok_or(ParseError("--agents needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> = list
+                    .split(',')
+                    .map(|a| parse_usize(a, "agent node"))
+                    .collect();
                 agents = parsed?;
             }
             "--seed" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--seed needs a value".into()))?;
                 seed = parse_usize(v, "seed")? as u64;
             }
             "--policy" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--policy needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--policy needs a value".into()))?;
                 policy = match v.as_str() {
                     "random" => Policy::Random,
                     "round-robin" | "rr" => Policy::RoundRobin,
@@ -267,7 +315,15 @@ pub fn parse_args(args: &[String]) -> Result<Invocation, ParseError> {
         }
         i += 1;
     }
-    Ok(Invocation { protocol, graph, agents, seed, policy, dot, family_spec })
+    Ok(Invocation {
+        protocol,
+        graph,
+        agents,
+        seed,
+        policy,
+        dot,
+        family_spec,
+    })
 }
 
 /// Parse an `explore` argv (without the binary name and the `explore`
@@ -298,19 +354,27 @@ pub fn parse_explore(args: &[String]) -> Result<ExploreInvocation, ParseError> {
         match args[i].as_str() {
             "--agents" => {
                 i += 1;
-                let list = args.get(i).ok_or(ParseError("--agents needs a list".into()))?;
-                let parsed: Result<Vec<usize>, _> =
-                    list.split(',').map(|a| parse_usize(a, "agent node")).collect();
+                let list = args
+                    .get(i)
+                    .ok_or(ParseError("--agents needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> = list
+                    .split(',')
+                    .map(|a| parse_usize(a, "agent node"))
+                    .collect();
                 inv.agents = parsed?;
             }
             "--seed" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--seed needs a value".into()))?;
                 inv.seed = parse_usize(v, "seed")? as u64;
             }
             "--target" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--target needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--target needs a value".into()))?;
                 inv.target = match v.as_str() {
                     "elect" => ExploreTarget::Elect,
                     "anonymous" | "anon" => ExploreTarget::Anonymous,
@@ -319,23 +383,30 @@ pub fn parse_explore(args: &[String]) -> Result<ExploreInvocation, ParseError> {
             }
             "--max-schedules" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--max-schedules needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--max-schedules needs a value".into()))?;
                 inv.max_schedules = parse_usize(v, "schedule budget")?;
             }
             "--preemption-bound" => {
                 i += 1;
-                let v =
-                    args.get(i).ok_or(ParseError("--preemption-bound needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--preemption-bound needs a value".into()))?;
                 inv.preemption_bound = parse_usize(v, "preemption bound")?;
             }
             "--swarm" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--swarm needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--swarm needs a value".into()))?;
                 inv.swarm_runs = parse_usize(v, "swarm runs")?;
             }
             "--emit-trace" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--emit-trace needs a path".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--emit-trace needs a path".into()))?;
                 inv.emit_trace = Some(v.clone());
             }
             other => return err(format!("unknown explore option '{other}'")),
@@ -348,30 +419,42 @@ pub fn parse_explore(args: &[String]) -> Result<ExploreInvocation, ParseError> {
 /// Parse a `sweep` argv (without the binary name and the `sweep` token
 /// itself). `--workers 0` means "use every available core".
 pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
-    let mut config = crate::sweep::SweepConfig { workers: 0, ..Default::default() };
+    let mut config = crate::sweep::SweepConfig {
+        workers: 0,
+        ..Default::default()
+    };
     let mut buckets: Vec<crate::sweep::SweepBucket> = Vec::new();
     let mut no_cache = false;
+    let mut json = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trials" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--trials needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--trials needs a value".into()))?;
                 config.trials = parse_usize(v, "trial count")?;
             }
             "--workers" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--workers needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--workers needs a value".into()))?;
                 config.workers = parse_usize(v, "worker count")?;
             }
             "--seed" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--seed needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--seed needs a value".into()))?;
                 config.seed0 = parse_usize(v, "seed")? as u64;
             }
             "--repeats" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--repeats needs a value".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--repeats needs a value".into()))?;
                 config.repeats = parse_usize(v, "repeat count")?;
                 if config.repeats == 0 {
                     return err("--repeats must be at least 1");
@@ -379,7 +462,9 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
             }
             "--bucket" => {
                 i += 1;
-                let v = args.get(i).ok_or(ParseError("--bucket needs LO:HI:P".into()))?;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--bucket needs LO:HI:P".into()))?;
                 let parts: Vec<&str> = v.split(':').collect();
                 let [lo, hi, p] = parts.as_slice() else {
                     return err(format!("bad bucket '{v}': expected LO:HI:P"));
@@ -387,7 +472,8 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
                 let bucket = crate::sweep::SweepBucket {
                     n_lo: parse_usize(lo, "bucket low")?,
                     n_hi: parse_usize(hi, "bucket high")?,
-                    p: p.parse().map_err(|_| ParseError(format!("bad bucket p '{p}'")))?,
+                    p: p.parse()
+                        .map_err(|_| ParseError(format!("bad bucket p '{p}'")))?,
                 };
                 if bucket.n_hi <= bucket.n_lo || bucket.n_lo == 0 {
                     return err(format!("bad bucket '{v}': need 0 < LO < HI"));
@@ -395,6 +481,13 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
                 buckets.push(bucket);
             }
             "--no-cache" => no_cache = true,
+            "--json" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--json needs a path".into()))?;
+                json = Some(v.clone());
+            }
             other => return err(format!("unknown sweep option '{other}'")),
         }
         i += 1;
@@ -405,15 +498,127 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
     if config.workers == 0 {
         config.workers = std::thread::available_parallelism().map_or(1, |p| p.get());
     }
-    Ok(SweepInvocation { config, no_cache })
+    Ok(SweepInvocation {
+        config,
+        no_cache,
+        json,
+    })
+}
+
+/// Parse an audit instance spec: a family spec with optional home-bases
+/// appended after `@`, e.g. `cycle:12@0,1,3` (default home-base: 0).
+pub fn parse_audit_instance(spec: &str) -> Result<crate::report::AuditInstance, ParseError> {
+    let (family_spec, agents) = match spec.split_once('@') {
+        Some((fam, list)) => {
+            let parsed: Result<Vec<usize>, _> = list
+                .split(',')
+                .map(|a| parse_usize(a, "agent node"))
+                .collect();
+            (fam, parsed?)
+        }
+        None => (spec, vec![0usize]),
+    };
+    let graph = parse_family(family_spec)?;
+    Ok(crate::report::AuditInstance {
+        spec: family_spec.to_string(),
+        graph,
+        agents,
+    })
+}
+
+/// Parse an `audit` argv (without the binary name and the `audit` token
+/// itself).
+pub fn parse_audit(args: &[String]) -> Result<AuditInvocation, ParseError> {
+    if args.is_empty() {
+        return err("usage: qelectctl audit <spec[@a0,a1,…]>… [--seeds 0,1,2] \
+             [--engine gated|free|both] [--json PATH] [--baseline PATH] \
+             [--tolerance F] [--write-baseline]");
+    }
+    let mut config = crate::report::AuditConfig::default();
+    let mut inv_json = None;
+    let mut baseline = "BENCH_audit.json".to_string();
+    let mut tolerance = crate::report::DEFAULT_TOLERANCE;
+    let mut write_baseline = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--seeds needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| parse_usize(s, "seed")).collect();
+                config.seeds = parsed?.into_iter().map(|s| s as u64).collect();
+            }
+            "--engine" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--engine needs a value".into()))?;
+                config.engines = match v.as_str() {
+                    "gated" => vec![crate::report::AuditEngine::Gated],
+                    "free" => vec![crate::report::AuditEngine::Free],
+                    "both" => vec![
+                        crate::report::AuditEngine::Gated,
+                        crate::report::AuditEngine::Free,
+                    ],
+                    other => return err(format!("unknown engine '{other}'")),
+                };
+            }
+            "--json" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--json needs a path".into()))?;
+                inv_json = Some(v.clone());
+            }
+            "--baseline" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--baseline needs a path".into()))?;
+                baseline = v.clone();
+            }
+            "--tolerance" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--tolerance needs a value".into()))?;
+                tolerance = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("bad tolerance '{v}'")))?;
+                if !(0.0..=100.0).contains(&tolerance) {
+                    return err(format!("tolerance {tolerance} out of range"));
+                }
+            }
+            "--write-baseline" => write_baseline = true,
+            flag if flag.starts_with("--") => {
+                return err(format!("unknown audit option '{flag}'"));
+            }
+            spec => config.instances.push(parse_audit_instance(spec)?),
+        }
+        i += 1;
+    }
+    if config.instances.is_empty() {
+        return err("audit needs at least one instance spec");
+    }
+    Ok(AuditInvocation {
+        config,
+        json: inv_json,
+        baseline,
+        tolerance,
+        write_baseline,
+    })
 }
 
 /// Parse a full argv (without the binary name), dispatching between the
-/// single-run, `explore` and `sweep` forms.
+/// single-run, `explore`, `sweep` and `audit` forms.
 pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
     match args.first().map(String::as_str) {
         Some("explore") => parse_explore(&args[1..]).map(Command::Explore),
         Some("sweep") => parse_sweep(&args[1..]).map(Command::Sweep),
+        Some("audit") => parse_audit(&args[1..]).map(Command::Audit),
         _ => parse_args(args).map(Command::Run),
     }
 }
@@ -491,7 +696,9 @@ mod tests {
     #[test]
     fn parses_explore_defaults() {
         let cmd = parse_command(&argv("explore cycle:9")).unwrap();
-        let Command::Explore(inv) = cmd else { panic!("expected explore") };
+        let Command::Explore(inv) = cmd else {
+            panic!("expected explore")
+        };
         assert_eq!(inv.graph.n(), 9);
         assert_eq!(inv.agents, vec![0]);
         assert_eq!(inv.target, ExploreTarget::Elect);
@@ -509,7 +716,9 @@ mod tests {
              --emit-trace /tmp/t.json",
         ))
         .unwrap();
-        let Command::Explore(inv) = cmd else { panic!("expected explore") };
+        let Command::Explore(inv) = cmd else {
+            panic!("expected explore")
+        };
         assert_eq!(inv.agents, vec![0, 3]);
         assert_eq!(inv.seed, 7);
         assert_eq!(inv.target, ExploreTarget::Anonymous);
@@ -522,7 +731,9 @@ mod tests {
     #[test]
     fn parse_command_still_handles_plain_runs() {
         let cmd = parse_command(&argv("elect cycle:9 --agents 0,1,3")).unwrap();
-        let Command::Run(inv) = cmd else { panic!("expected run") };
+        let Command::Run(inv) = cmd else {
+            panic!("expected run")
+        };
         assert_eq!(inv.protocol, Protocol::Elect);
         assert_eq!(inv.agents, vec![0, 1, 3]);
     }
@@ -530,7 +741,9 @@ mod tests {
     #[test]
     fn parses_sweep_defaults() {
         let cmd = parse_command(&argv("sweep")).unwrap();
-        let Command::Sweep(inv) = cmd else { panic!("expected sweep") };
+        let Command::Sweep(inv) = cmd else {
+            panic!("expected sweep")
+        };
         assert_eq!(inv.config.trials, 60);
         assert!(inv.config.workers >= 1, "0 must resolve to the core count");
         assert_eq!(inv.config.seed0, 0);
@@ -546,7 +759,9 @@ mod tests {
              --bucket 5:8:0.2 --bucket 8:12:0.3 --no-cache",
         ))
         .unwrap();
-        let Command::Sweep(inv) = cmd else { panic!("expected sweep") };
+        let Command::Sweep(inv) = cmd else {
+            panic!("expected sweep")
+        };
         assert_eq!(inv.config.trials, 10);
         assert_eq!(inv.config.workers, 4);
         assert_eq!(inv.config.seed0, 9);
@@ -555,6 +770,68 @@ mod tests {
         assert_eq!(inv.config.buckets[0].n_lo, 5);
         assert_eq!(inv.config.buckets[1].p, 0.3);
         assert!(inv.no_cache);
+    }
+
+    #[test]
+    fn parses_sweep_json_flag() {
+        let cmd = parse_command(&argv("sweep --trials 5 --json out.json")).unwrap();
+        let Command::Sweep(inv) = cmd else {
+            panic!("expected sweep")
+        };
+        assert_eq!(inv.json.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn parses_audit_defaults() {
+        let cmd = parse_command(&argv("audit cycle:12@0,1,3 petersen")).unwrap();
+        let Command::Audit(inv) = cmd else {
+            panic!("expected audit")
+        };
+        assert_eq!(inv.config.instances.len(), 2);
+        assert_eq!(inv.config.instances[0].spec, "cycle:12");
+        assert_eq!(inv.config.instances[0].agents, vec![0, 1, 3]);
+        assert_eq!(inv.config.instances[0].key(), "cycle:12@0,1,3");
+        assert_eq!(inv.config.instances[0].family(), "cycle");
+        assert_eq!(inv.config.instances[1].agents, vec![0], "default home-base");
+        assert_eq!(inv.config.instances[1].family(), "petersen");
+        assert_eq!(inv.config.seeds, vec![0, 1, 2]);
+        assert_eq!(inv.config.engines.len(), 2);
+        assert_eq!(inv.baseline, "BENCH_audit.json");
+        assert!((inv.tolerance - crate::report::DEFAULT_TOLERANCE).abs() < 1e-12);
+        assert!(!inv.write_baseline);
+        assert!(inv.json.is_none());
+    }
+
+    #[test]
+    fn parses_audit_full_options() {
+        let cmd = parse_command(&argv(
+            "audit circulant:12:1,3@0,1,3 --seeds 4,5 --engine gated \
+             --json out.json --baseline B.json --tolerance 0.5 --write-baseline",
+        ))
+        .unwrap();
+        let Command::Audit(inv) = cmd else {
+            panic!("expected audit")
+        };
+        assert_eq!(inv.config.instances[0].spec, "circulant:12:1,3");
+        assert_eq!(inv.config.instances[0].agents, vec![0, 1, 3]);
+        assert_eq!(inv.config.seeds, vec![4, 5]);
+        assert_eq!(inv.config.engines, vec![crate::report::AuditEngine::Gated]);
+        assert_eq!(inv.json.as_deref(), Some("out.json"));
+        assert_eq!(inv.baseline, "B.json");
+        assert!((inv.tolerance - 0.5).abs() < 1e-12);
+        assert!(inv.write_baseline);
+    }
+
+    #[test]
+    fn audit_rejects_nonsense() {
+        assert!(parse_command(&argv("audit")).is_err());
+        assert!(parse_command(&argv("audit nosuch:5")).is_err());
+        assert!(parse_command(&argv("audit cycle:6@x")).is_err());
+        assert!(parse_command(&argv("audit cycle:6 --engine warp")).is_err());
+        assert!(parse_command(&argv("audit cycle:6 --tolerance -1")).is_err());
+        assert!(parse_command(&argv("audit cycle:6 --tolerance x")).is_err());
+        assert!(parse_command(&argv("audit cycle:6 --frobnicate")).is_err());
+        assert!(parse_command(&argv("audit --seeds 1")).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   protocol elects;
 //! * `sweep_random` — random-instance stress sweep (ELECT vs oracle);
 //! * `qelectctl` — run any protocol on any family from the command line
-//!   (parsing in [`cli`]).
+//!   (parsing in [`cli`]); its `audit` subcommand emits the
+//!   phase-resolved JSON reports of [`report`] and gates CI on the
+//!   fitted Theorem 3.1 constant.
 //!
 //! The criterion benches (`benches/`) measure the same pipelines for
 //! performance tracking.
@@ -24,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod report;
 pub mod sweep;
 
 use qelect_graph::{families, Bicolored, Graph};
@@ -53,20 +56,60 @@ impl Instance {
 pub fn standard_suite() -> Vec<Instance> {
     vec![
         Instance::new("C5 r=1", families::cycle(5).unwrap(), &[0], true),
-        Instance::new("C6 r=2 antipodal", families::cycle(6).unwrap(), &[0, 3], true),
-        Instance::new("C6 r=3 broken", families::cycle(6).unwrap(), &[0, 2, 3], true),
+        Instance::new(
+            "C6 r=2 antipodal",
+            families::cycle(6).unwrap(),
+            &[0, 3],
+            true,
+        ),
+        Instance::new(
+            "C6 r=3 broken",
+            families::cycle(6).unwrap(),
+            &[0, 2, 3],
+            true,
+        ),
         Instance::new("C7 r=3", families::cycle(7).unwrap(), &[0, 1, 3], true),
         Instance::new("K2 r=2", families::complete(2).unwrap(), &[0, 1], true),
         Instance::new("K4 r=2", families::complete(4).unwrap(), &[0, 1], true),
-        Instance::new("Q3 r=2 antipodal", families::hypercube(3).unwrap(), &[0, 7], true),
+        Instance::new(
+            "Q3 r=2 antipodal",
+            families::hypercube(3).unwrap(),
+            &[0, 7],
+            true,
+        ),
         Instance::new("Q3 r=3", families::hypercube(3).unwrap(), &[0, 1, 3], true),
-        Instance::new("Torus3x3 r=2", families::torus(&[3, 3]).unwrap(), &[0, 4], true),
-        Instance::new("CCC3 r=2", families::cube_connected_cycles(3).unwrap(), &[0, 9], true),
-        Instance::new("StarGraph S3 r=2", families::star_graph(3).unwrap(), &[0, 5], true),
-        Instance::new("Petersen r=2 adj", families::petersen().unwrap(), &[0, 1], false),
+        Instance::new(
+            "Torus3x3 r=2",
+            families::torus(&[3, 3]).unwrap(),
+            &[0, 4],
+            true,
+        ),
+        Instance::new(
+            "CCC3 r=2",
+            families::cube_connected_cycles(3).unwrap(),
+            &[0, 9],
+            true,
+        ),
+        Instance::new(
+            "StarGraph S3 r=2",
+            families::star_graph(3).unwrap(),
+            &[0, 5],
+            true,
+        ),
+        Instance::new(
+            "Petersen r=2 adj",
+            families::petersen().unwrap(),
+            &[0, 1],
+            false,
+        ),
         Instance::new("Path4 r=2", families::path(4).unwrap(), &[0, 1], false),
         Instance::new("Star K1,4 r=2", families::star(4).unwrap(), &[0, 1], false),
-        Instance::new("Tree d=2 r=2", families::binary_tree(2).unwrap(), &[0, 3], false),
+        Instance::new(
+            "Tree d=2 r=2",
+            families::binary_tree(2).unwrap(),
+            &[0, 3],
+            false,
+        ),
     ]
 }
 

@@ -10,7 +10,7 @@
 //! ```
 //!
 //! Every agent executes [`elect`]; the control flow is driven by the
-//! deterministic [`Schedule`](crate::schedule::Schedule) derived from the
+//! deterministic [`Schedule`] derived from the
 //! canonically-ordered class sizes (Lemma 3.1), which all agents agree on
 //! because canonical forms are isomorphism-invariant. Class `C_{i+1}` is
 //! *activated* at the start of its phase by the current active set `D`
@@ -29,9 +29,7 @@ use crate::mapdraw::map_drawing;
 use crate::reduce::{agent_reduce, node_reduce, Courier, ReduceExit};
 use crate::schedule::{PhaseKind, Schedule};
 use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
-use qelect_agentsim::{
-    AgentOutcome, Color, Interrupt, MobileCtx, SignKind, Whiteboard,
-};
+use qelect_agentsim::{AgentOutcome, Color, Interrupt, MobileCtx, SignKind, Whiteboard};
 use qelect_graph::cache::ordered_classes_cached;
 use qelect_graph::Bicolored;
 
@@ -56,6 +54,10 @@ pub struct LocalView {
 pub fn compute_local_view<C: MobileCtx>(ctx: &mut C) -> Result<LocalView, Interrupt> {
     let map = map_drawing(ctx)?;
     ctx.checkpoint("map-drawing done");
+    // COMPUTE & ORDER is pure local computation (no moves or board
+    // accesses); its span exists to attribute canonical-form cache
+    // traffic to the phase.
+    ctx.span_open("classes");
     let bc = map.to_bicolored();
     // The memo cache collapses all isomorphic maps (every agent's, plus
     // the oracle's global view) onto one COMPUTE & ORDER evaluation.
@@ -64,8 +66,15 @@ pub fn compute_local_view<C: MobileCtx>(ctx: &mut C) -> Result<LocalView, Interr
     let sizes: Vec<usize> = classes.iter().map(|c| c.len()).collect();
     let schedule = Schedule::from_class_sizes(&sizes, oc.ell);
     let my_class = oc.class_of(0);
+    ctx.span_close("classes");
     ctx.checkpoint("classes ordered");
-    Ok(LocalView { map, classes, ell: oc.ell, schedule, my_class })
+    Ok(LocalView {
+        map,
+        classes,
+        ell: oc.ell,
+        schedule,
+        my_class,
+    })
 }
 
 fn board_has_final(wb: &Whiteboard) -> bool {
@@ -74,36 +83,43 @@ fn board_has_final(wb: &Whiteboard) -> bool {
 
 /// Park at home until the election's verdict arrives, then report it.
 fn final_wait<C: MobileCtx>(cr: &mut Courier<'_, C>) -> Result<AgentOutcome, Interrupt> {
-    cr.goto(0)?;
-    cr.ctx.wait_until(board_has_final)?;
-    let signs = cr.ctx.read_board()?;
-    if signs.iter().any(|s| s.kind == SignKind::Leader) {
-        Ok(AgentOutcome::Defeated)
-    } else {
-        Ok(AgentOutcome::Unsolvable)
-    }
+    cr.ctx.span_open("final-wait");
+    let out = (|| {
+        cr.goto(0)?;
+        cr.ctx.wait_until(board_has_final)?;
+        let signs = cr.ctx.read_board()?;
+        if signs.iter().any(|s| s.kind == SignKind::Leader) {
+            Ok(AgentOutcome::Defeated)
+        } else {
+            Ok(AgentOutcome::Unsolvable)
+        }
+    })();
+    cr.ctx.span_close("final-wait");
+    out
 }
 
 /// Sweep the whole network posting a sign at every node.
-fn announce_all<C: MobileCtx>(
-    cr: &mut Courier<'_, C>,
-    kind: SignKind,
-) -> Result<(), Interrupt> {
-    let me = cr.me();
-    cr.ctx.with_board(move |wb| {
-        wb.post(qelect_agentsim::Sign::tag(me, kind));
-    })?;
-    let route = cr.map.sweep_route(cr.pos);
-    for p in route {
-        cr.ctx.move_via(p)?;
+fn announce_all<C: MobileCtx>(cr: &mut Courier<'_, C>, kind: SignKind) -> Result<(), Interrupt> {
+    cr.ctx.span_open("announce");
+    let out = (|| {
         let me = cr.me();
         cr.ctx.with_board(move |wb| {
-            if wb.find_kind(kind).is_none() {
-                wb.post(qelect_agentsim::Sign::tag(me, kind));
-            }
+            wb.post(qelect_agentsim::Sign::tag(me, kind));
         })?;
-    }
-    Ok(())
+        let route = cr.map.sweep_route(cr.pos);
+        for p in route {
+            cr.ctx.move_via(p)?;
+            let me = cr.me();
+            cr.ctx.with_board(move |wb| {
+                if wb.find_kind(kind).is_none() {
+                    wb.post(qelect_agentsim::Sign::tag(me, kind));
+                }
+            })?;
+        }
+        Ok(())
+    })();
+    cr.ctx.span_close("announce");
+    out
 }
 
 /// The homes (map nodes) of a class, with the resident colors — only
@@ -188,9 +204,7 @@ pub fn elect_from_view_with<C: MobileCtx>(
                     cr.ctx.wait_until(move |wb| {
                         let mut seen: Vec<Color> = Vec::new();
                         for s in wb.signs() {
-                            if s.kind == ACTIVATE
-                                && s.payload == [tag]
-                                && !seen.contains(&s.color)
+                            if s.kind == ACTIVATE && s.payload == [tag] && !seen.contains(&s.color)
                             {
                                 seen.push(s.color);
                             }
@@ -286,7 +300,10 @@ mod tests {
     use qelect_graph::families;
 
     fn check_elects(bc: &Bicolored, seed: u64) -> RunReport {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_elect(bc, cfg);
         assert!(
             report.clean_election(),
@@ -298,7 +315,10 @@ mod tests {
     }
 
     fn check_fails(bc: &Bicolored, seed: u64) {
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_elect(bc, cfg);
         assert!(
             report.unanimous_unsolvable(),
@@ -363,7 +383,11 @@ mod tests {
             Policy::Lockstep,
             Policy::GreedyLowest,
         ] {
-            let cfg = RunConfig { seed: 7, policy, ..RunConfig::default() };
+            let cfg = RunConfig {
+                seed: 7,
+                policy,
+                ..RunConfig::default()
+            };
             let report = run_elect(&bc, cfg);
             assert!(
                 report.clean_election(),
@@ -415,11 +439,15 @@ mod tests {
         // sides at asymmetric positions it still fails or succeeds per
         // the oracle — just cross-check both.
         for hbs in [vec![0usize, 1], vec![0, 3]] {
-            let bc =
-                Bicolored::new(families::complete_bipartite(3, 3).unwrap(), &hbs).unwrap();
+            let bc = Bicolored::new(families::complete_bipartite(3, 3).unwrap(), &hbs).unwrap();
             let expected = crate::solvability::elect_succeeds(&bc);
             let report = run_elect(&bc, RunConfig::default());
-            assert_eq!(report.clean_election(), expected, "{hbs:?}: {:?}", report.outcomes);
+            assert_eq!(
+                report.clean_election(),
+                expected,
+                "{hbs:?}: {:?}",
+                report.outcomes
+            );
         }
     }
 
@@ -432,12 +460,7 @@ mod tests {
         for initiator in 0..3 {
             let agents: Vec<GatedAgent> =
                 (0..3).map(|_| -> GatedAgent { Box::new(elect) }).collect();
-            let report = run_gated_staggered(
-                &bc,
-                RunConfig::default(),
-                agents,
-                &[initiator],
-            );
+            let report = run_gated_staggered(&bc, RunConfig::default(), agents, &[initiator]);
             assert!(
                 report.clean_election(),
                 "initiator {initiator}: {:?} ({:?})",
@@ -451,8 +474,7 @@ mod tests {
     fn staggered_wakeup_on_failure_instance() {
         use qelect_agentsim::gated::run_gated_staggered;
         let bc = Bicolored::new(families::cycle(6).unwrap(), &[0, 3]).unwrap();
-        let agents: Vec<GatedAgent> =
-            (0..2).map(|_| -> GatedAgent { Box::new(elect) }).collect();
+        let agents: Vec<GatedAgent> = (0..2).map(|_| -> GatedAgent { Box::new(elect) }).collect();
         let report = run_gated_staggered(&bc, RunConfig::default(), agents, &[1]);
         assert!(report.unanimous_unsolvable(), "{:?}", report.outcomes);
     }

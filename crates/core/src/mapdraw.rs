@@ -22,7 +22,20 @@ use qelect_agentsim::{Interrupt, LocalPort, MobileCtx, Sign, SignKind};
 
 /// Walk the whole graph by whiteboard DFS and return the completed map.
 /// The agent ends back at its home-base (map node 0).
+///
+/// The traversal is wrapped in a `"map-drawing"` [`PhaseSpan`]
+/// (`MobileCtx::span_open`), so phase-resolved reports attribute the
+/// DFS cost separately from the reduction phases.
+///
+/// [`PhaseSpan`]: qelect_agentsim::PhaseSpan
 pub fn map_drawing<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
+    ctx.span_open("map-drawing");
+    let map = map_drawing_inner(ctx);
+    ctx.span_close("map-drawing");
+    map
+}
+
+fn map_drawing_inner<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
     let me = ctx.color();
     let mut map = AgentMap::new();
     let root = map.add_node(ctx.degree());
@@ -118,7 +131,10 @@ mod tests {
                 })
             })
             .collect();
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_gated(bc, cfg, agents);
         assert!(report.interrupted.is_none(), "{:?}", report.outcomes);
         drop(tx);
@@ -183,11 +199,7 @@ mod tests {
         }
         // The two agents record the same *set* of colors.
         let colors = |m: &AgentMap| {
-            let mut v: Vec<u64> = m
-                .homebases()
-                .iter()
-                .map(|&(_, c)| c.nonce())
-                .collect();
+            let mut v: Vec<u64> = m.homebases().iter().map(|&(_, c)| c.nonce()).collect();
             v.sort_unstable();
             v
         };

@@ -244,6 +244,19 @@ pub fn agent_reduce<C: MobileCtx>(
     s0: Vec<usize>,
     w0: Vec<usize>,
 ) -> Result<ReduceExit, Interrupt> {
+    cr.ctx.span_open("agent-reduce");
+    let out = agent_reduce_inner(cr, phase, rounds, s0, w0);
+    cr.ctx.span_close("agent-reduce");
+    out
+}
+
+fn agent_reduce_inner<C: MobileCtx>(
+    cr: &mut Courier<'_, C>,
+    phase: u64,
+    rounds: &[AgentRound],
+    s0: Vec<usize>,
+    w0: Vec<usize>,
+) -> Result<ReduceExit, Interrupt> {
     let my_home = 0usize;
     let mut s = s0.clone();
     let mut w = w0.clone();
@@ -271,7 +284,11 @@ pub fn agent_reduce<C: MobileCtx>(
                     let me = cr.me();
                     let may_match = !i_matched;
                     let matched_here = cr.ctx.with_board(move |wb| {
-                        wb.post(Sign::with_payload(me, SignKind::VisitDone, vec![phase, t64]));
+                        wb.post(Sign::with_payload(
+                            me,
+                            SignKind::VisitDone,
+                            vec![phase, t64],
+                        ));
                         let already_matched = wb
                             .signs()
                             .iter()
@@ -389,6 +406,19 @@ pub fn agent_reduce<C: MobileCtx>(
 /// * `actives0` — the agent homes active at phase entry (sorted).
 /// * `selected0` — the node class (sorted map nodes).
 pub fn node_reduce<C: MobileCtx>(
+    cr: &mut Courier<'_, C>,
+    phase: u64,
+    rounds: &[NodeRound],
+    actives0: Vec<usize>,
+    selected0: Vec<usize>,
+) -> Result<ReduceExit, Interrupt> {
+    cr.ctx.span_open("node-reduce");
+    let out = node_reduce_inner(cr, phase, rounds, actives0, selected0);
+    cr.ctx.span_close("node-reduce");
+    out
+}
+
+fn node_reduce_inner<C: MobileCtx>(
     cr: &mut Courier<'_, C>,
     phase: u64,
     rounds: &[NodeRound],
@@ -545,7 +575,10 @@ mod tests {
                     Ok(AgentOutcome::Defeated)
                 })
             };
-            let cfg = RunConfig { policy, ..RunConfig::default() };
+            let cfg = RunConfig {
+                policy,
+                ..RunConfig::default()
+            };
             let report = run_gated(&bc, cfg, vec![mk(), mk(), mk()]);
             assert!(
                 report.interrupted.is_none(),
@@ -567,8 +600,7 @@ mod tests {
             let mk = move || -> GatedAgent {
                 Box::new(move |ctx| {
                     let map = map_drawing(ctx)?;
-                    let homes: Vec<usize> =
-                        map.homebases().iter().map(|&(v, _)| v).collect();
+                    let homes: Vec<usize> = map.homebases().iter().map(|&(v, _)| v).collect();
                     let mut cr = Courier::new(ctx, map);
                     cr.goto(0)?;
                     if sweep {
@@ -612,8 +644,7 @@ mod tests {
                 for &h in &p {
                     record.push((h, t as u64));
                 }
-                let rest: Vec<usize> =
-                    w.iter().copied().filter(|h| !p.contains(h)).collect();
+                let rest: Vec<usize> = w.iter().copied().filter(|h| !p.contains(h)).collect();
                 if round.swap {
                     let old_s = std::mem::replace(&mut s, rest);
                     w = old_s;

@@ -11,7 +11,7 @@
 //!   trace bit-for-bit (strict mode panics on the first divergence, the
 //!   regression-test setting; lenient mode is what the shrinker uses).
 //! * **Explore** — [`explore_elect`] drives
-//!   [`explore_schedules`](qelect_agentsim::explore::explore_schedules)
+//!   [`explore_schedules`]
 //!   over ELECT with the gcd solvability oracle as the checked property:
 //!   solvable instances must produce a clean election under *every*
 //!   schedule within the preemption bound, unsolvable ones must never
@@ -31,7 +31,10 @@ use qelect_graph::Bicolored;
 
 /// Run ELECT with trace recording on and package the result.
 pub fn run_elect_recorded(bc: &Bicolored, cfg: RunConfig, label: &str) -> (RunReport, Trace) {
-    let cfg = RunConfig { record_trace: true, ..cfg };
+    let cfg = RunConfig {
+        record_trace: true,
+        ..cfg
+    };
     let report = run_gated(bc, cfg, elect_agents(bc.r(), ElectFault::default()));
     let trace = report.to_trace(bc, cfg.seed, label);
     (report, trace)
@@ -43,7 +46,10 @@ pub fn run_translation_elect_recorded(
     cfg: RunConfig,
     label: &str,
 ) -> (RunReport, Trace) {
-    let cfg = RunConfig { record_trace: true, ..cfg };
+    let cfg = RunConfig {
+        record_trace: true,
+        ..cfg
+    };
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(translation_elect) })
         .collect();
@@ -74,20 +80,33 @@ fn check_instance(bc: &Bicolored, trace: &Trace) {
 /// `strict` panics on the first schedule divergence.
 pub fn replay_elect(bc: &Bicolored, trace: &Trace, strict: bool) -> RunReport {
     check_instance(bc, trace);
-    let cfg = RunConfig { seed: trace.seed, record_trace: true, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: trace.seed,
+        record_trace: true,
+        ..RunConfig::default()
+    };
     let mut scheduler = if strict {
         ReplayScheduler::strict(trace.schedule.clone())
     } else {
         ReplayScheduler::new(trace.schedule.clone())
     };
-    run_gated_with(bc, cfg, elect_agents(bc.r(), ElectFault::default()), &mut scheduler)
+    run_gated_with(
+        bc,
+        cfg,
+        elect_agents(bc.r(), ElectFault::default()),
+        &mut scheduler,
+    )
 }
 
 /// Re-execute a recorded anonymous ring-probe run (the §1.3
 /// impossibility counterexample lives in a committed trace).
 pub fn replay_ring_probe(bc: &Bicolored, trace: &Trace, strict: bool) -> RunReport {
     check_instance(bc, trace);
-    let cfg = RunConfig { seed: trace.seed, record_trace: true, ..RunConfig::default() };
+    let cfg = RunConfig {
+        seed: trace.seed,
+        record_trace: true,
+        ..RunConfig::default()
+    };
     let mut scheduler = if strict {
         ReplayScheduler::strict(trace.schedule.clone())
     } else {
@@ -109,7 +128,11 @@ pub fn elect_oracle_property(bc: &Bicolored) -> impl Fn(&RunReport) -> Result<()
         if let Some(i) = &report.interrupted {
             return Err(format!("run interrupted: {i}"));
         }
-        match (solvable, report.clean_election(), report.unanimous_unsolvable()) {
+        match (
+            solvable,
+            report.clean_election(),
+            report.unanimous_unsolvable(),
+        ) {
             (true, true, _) => Ok(()),
             (false, _, true) => Ok(()),
             _ => Err(format!(
@@ -140,7 +163,10 @@ pub fn explore_elect_with_fault(
     explore_cfg: &ExploreConfig,
     fault: ElectFault,
 ) -> ExploreReport {
-    let run_cfg = RunConfig { record_trace: true, ..run_cfg };
+    let run_cfg = RunConfig {
+        record_trace: true,
+        ..run_cfg
+    };
     explore_schedules(
         explore_cfg,
         |scheduler| run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), scheduler),
@@ -157,7 +183,10 @@ pub fn elect_schedule_fails(
     fault: ElectFault,
     schedule: &[usize],
 ) -> bool {
-    let run_cfg = RunConfig { record_trace: false, ..run_cfg };
+    let run_cfg = RunConfig {
+        record_trace: false,
+        ..run_cfg
+    };
     let mut scheduler = ReplayScheduler::new(schedule.to_vec());
     let report = run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), &mut scheduler);
     elect_oracle_property(bc)(&report).is_err()
@@ -176,24 +205,36 @@ mod tests {
     #[test]
     fn recorded_run_replays_bit_for_bit() {
         let bc = c6_breaker();
-        let cfg = RunConfig { seed: 13, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 13,
+            ..RunConfig::default()
+        };
         let (original, trace) = run_elect_recorded(&bc, cfg, "c6 breaker");
         assert!(original.clean_election());
         assert!(!trace.schedule.is_empty());
-        assert!(!trace.events.is_empty(), "events recorded alongside the schedule");
+        assert!(
+            !trace.events.is_empty(),
+            "events recorded alongside the schedule"
+        );
 
         let replayed = replay_elect(&bc, &trace, true);
         assert_eq!(replayed.outcomes, original.outcomes);
         assert_eq!(replayed.leader, original.leader);
         assert_eq!(replayed.metrics.per_agent, original.metrics.per_agent);
-        assert_eq!(replayed.trace, trace.schedule, "the replay re-records the same schedule");
+        assert_eq!(
+            replayed.trace, trace.schedule,
+            "the replay re-records the same schedule"
+        );
         assert_eq!(replayed.events, trace.events, "and the same event log");
     }
 
     #[test]
     fn trace_survives_json_roundtrip_and_still_replays() {
         let bc = c6_breaker();
-        let cfg = RunConfig { seed: 99, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 99,
+            ..RunConfig::default()
+        };
         let (original, trace) = run_elect_recorded(&bc, cfg, "roundtrip");
         let trace = Trace::from_json(&trace.to_json()).unwrap();
         let replayed = replay_elect(&bc, &trace, true);
@@ -203,7 +244,10 @@ mod tests {
     #[test]
     fn cayley_variant_records_too() {
         let bc = Bicolored::new(families::cycle(7).unwrap(), &[0, 1, 3]).unwrap();
-        let cfg = RunConfig { seed: 3, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 3,
+            ..RunConfig::default()
+        };
         let (report, trace) = run_translation_elect_recorded(&bc, cfg, "c7 cayley");
         assert_eq!(trace.schedule.len() as u64, report.metrics.steps);
     }
@@ -211,13 +255,20 @@ mod tests {
     #[test]
     fn oracle_property_accepts_and_rejects() {
         let bc = c6_breaker();
-        let cfg = RunConfig { seed: 4, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed: 4,
+            ..RunConfig::default()
+        };
         let report = crate::elect::run_elect(&bc, cfg);
         assert!(elect_oracle_property(&bc)(&report).is_ok());
 
         // A doctored report claiming two leaders must be rejected.
         let mut bad = report.clone();
-        bad.outcomes = vec![AgentOutcome::Leader, AgentOutcome::Leader, AgentOutcome::Defeated];
+        bad.outcomes = vec![
+            AgentOutcome::Leader,
+            AgentOutcome::Leader,
+            AgentOutcome::Defeated,
+        ];
         assert!(elect_oracle_property(&bc)(&bad).is_err());
     }
 }

@@ -3,7 +3,7 @@
 //!
 //! [`QuantMachine`] re-implements [`crate::quantitative`]'s protocol
 //! (whiteboard DFS collecting every home-base label; maximum label wins)
-//! as a [`StepAgent`](qelect_agentsim::stepagent::StepAgent): one
+//! as a [`StepAgent`]: one
 //! whiteboard access per activation, explicit state in fields. The same
 //! value therefore runs
 //!
@@ -61,7 +61,10 @@ impl QuantMachine {
     /// finish.
     fn advance(&mut self, current: usize) -> StepAction {
         if let Some(p) = self.map.unexplored_port(current) {
-            self.mode = Mode::Arrived { from: current, port: p };
+            self.mode = Mode::Arrived {
+                from: current,
+                port: p,
+            };
             StepAction::Move(p)
         } else if let Some(back) = self.retreat[current] {
             let parent = self.map.edge(current, back).expect("charted").to;
@@ -180,7 +183,10 @@ mod tests {
                 Box::new(move |ctx| drive(&mut QuantMachine::new(id), ctx))
             })
             .collect();
-        let cfg = RunConfig { seed, ..RunConfig::default() };
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
         let report = run_gated(bc, cfg, agents);
         assert!(report.clean_election(), "{:?}", report.outcomes);
         report.leader
