@@ -41,6 +41,12 @@ pub enum Interrupt {
     StepLimit,
     /// The run was cancelled (watchdog or explicit stop).
     Cancelled,
+    /// The agent was crashed by an injected fault
+    /// (see [`crate::fault::FaultPlan`]). The engine catches this,
+    /// restarts the agent at its home-base with volatile state lost, and
+    /// re-invokes the program; it only surfaces as a terminal outcome
+    /// when the recovery policy's restart budget is exhausted.
+    Crashed,
 }
 
 impl fmt::Display for Interrupt {
@@ -49,6 +55,7 @@ impl fmt::Display for Interrupt {
             Interrupt::Deadlock => write!(f, "deadlock: all agents waiting"),
             Interrupt::StepLimit => write!(f, "step budget exhausted"),
             Interrupt::Cancelled => write!(f, "run cancelled"),
+            Interrupt::Crashed => write!(f, "crashed by fault injection"),
         }
     }
 }
@@ -122,6 +129,27 @@ pub trait MobileCtx {
     /// All local ports at the current node: `0..degree`.
     fn ports(&mut self) -> Vec<LocalPort> {
         (0..self.degree() as u32).map(LocalPort).collect()
+    }
+
+    /// How many times this agent has been crash-restarted: `0` on the
+    /// original incarnation, incremented by the engine each time an
+    /// injected crash ([`Interrupt::Crashed`]) restarts the agent at its
+    /// home-base. The index is environment-supplied (the standard
+    /// convention in replacement-agent fault models): the restarted
+    /// agent knows it is a restart but retains no other volatile state.
+    /// Engines without fault injection always return 0.
+    fn incarnation(&self) -> u64 {
+        0
+    }
+
+    /// Whether the current run's fault plan can crash agents. Protocols
+    /// consult this to decide whether to journal recovery checkpoints to
+    /// the whiteboard; crash-free runs skip the journal entirely so
+    /// their board contents, wait wakeups, and traces stay byte-identical
+    /// to pre-fault-layer recordings. Engines without fault injection
+    /// always return `false`.
+    fn crash_faults_armed(&self) -> bool {
+        false
     }
 }
 

@@ -10,12 +10,15 @@
 
 use crate::color::{Color, ColorRegistry};
 use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
-use crate::gated::RunReport;
+use crate::fault::{FaultAction, FaultClock, FaultPlan, FaultStats, RecoveryPolicy};
+use crate::gated::{panic_message, RunReport};
 use crate::metrics::{AgentMetrics, Checkpoint, Metrics, SpanTracker};
+use crate::run::RunError;
 use crate::sign::{Sign, SignKind};
 use crate::whiteboard::Whiteboard;
 use parking_lot::{Condvar, Mutex};
 use qelect_graph::{Bicolored, Graph, Port};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -64,6 +67,9 @@ struct FreeShared {
     max_ops: u64,
     port_seed: u64,
     scramble_ports: bool,
+    fault_stats: FaultStats,
+    faults_armed: bool,
+    panics: Mutex<Vec<(usize, String)>>,
 }
 
 impl FreeShared {
@@ -110,7 +116,83 @@ pub struct FreeCtx {
     id: usize,
     color: Color,
     node: usize,
+    home: usize,
     entry: Option<LocalPort>,
+    faults: FaultClock,
+    recovery: RecoveryPolicy,
+}
+
+impl FreeCtx {
+    /// The whiteboard-access boundary hook (see the gated engine's
+    /// `fault_gate`): the per-agent operation counter advances at the
+    /// same boundaries in both engines, so one plan addresses the same
+    /// primitive under either. Delays burn charged ops; crashes fire
+    /// before the pending operation.
+    fn fault_gate(&mut self) -> Result<(), Interrupt> {
+        self.faults.advance();
+        while let Some(action) = self.faults.take_due() {
+            match action {
+                FaultAction::Delay { ticks } => {
+                    self.shared
+                        .fault_stats
+                        .delay_ticks
+                        .fetch_add(ticks, Ordering::Relaxed);
+                    for _ in 0..ticks {
+                        self.shared.charge_op()?;
+                        std::thread::yield_now();
+                    }
+                }
+                FaultAction::Crash { restart_after } => {
+                    self.faults.note_crash(restart_after);
+                    self.shared
+                        .fault_stats
+                        .crashes
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .fault_stats
+                        .lost_ops
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(Interrupt::Crashed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-crash restart (see the gated engine's `begin_restart`):
+    /// volatile state reset to the home-base, incarnation bumped,
+    /// bounded backoff burned as charged ops.
+    fn begin_restart(&mut self) -> Result<(), Interrupt> {
+        let incarnation = self.faults.incarnation() + 1;
+        if incarnation > self.recovery.max_restarts {
+            self.shared
+                .fault_stats
+                .aborted
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Interrupt::Crashed);
+        }
+        self.shared.trackers[self.id].force_close_all(
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
+        self.faults.restart();
+        self.shared
+            .fault_stats
+            .restarts
+            .fetch_add(1, Ordering::Relaxed);
+        self.node = self.home;
+        self.entry = None;
+        let stall = self.faults.take_restart_stall() + self.recovery.backoff(incarnation);
+        self.shared
+            .fault_stats
+            .backoff_ticks
+            .fetch_add(stall, Ordering::Relaxed);
+        for _ in 0..stall {
+            self.shared.charge_op()?;
+            std::thread::yield_now();
+        }
+        Ok(())
+    }
 }
 
 impl MobileCtx for FreeCtx {
@@ -127,6 +209,7 @@ impl MobileCtx for FreeCtx {
     }
 
     fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt> {
+        self.fault_gate()?;
         self.shared.charge_op()?;
         self.shared.metrics[self.id]
             .accesses
@@ -136,6 +219,7 @@ impl MobileCtx for FreeCtx {
     }
 
     fn with_board<R>(&mut self, f: impl FnOnce(&mut Whiteboard) -> R) -> Result<R, Interrupt> {
+        self.fault_gate()?;
         self.shared.charge_op()?;
         self.shared.metrics[self.id]
             .accesses
@@ -153,6 +237,7 @@ impl MobileCtx for FreeCtx {
     }
 
     fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt> {
+        self.fault_gate()?;
         self.shared.charge_op()?;
         let map = self.shared.port_map(self.id, self.node);
         let sym = *map
@@ -177,6 +262,9 @@ impl MobileCtx for FreeCtx {
     }
 
     fn wait_until(&mut self, pred: impl Fn(&Whiteboard) -> bool) -> Result<(), Interrupt> {
+        // One boundary per wait entry (re-checks are engine-dependent;
+        // see the gated engine's wait_until).
+        self.fault_gate()?;
         let cell = &self.shared.boards[self.node];
         let mut board = cell.board.lock();
         loop {
@@ -225,14 +313,48 @@ impl MobileCtx for FreeCtx {
             Some(qelect_graph::cache::global().stats()),
         );
     }
+
+    fn incarnation(&self) -> u64 {
+        self.faults.incarnation()
+    }
+
+    fn crash_faults_armed(&self) -> bool {
+        self.shared.faults_armed
+    }
 }
 
 /// A boxed agent program for the free-running engine.
-pub type FreeAgent = Box<dyn FnOnce(&mut FreeCtx) -> Result<AgentOutcome, Interrupt> + Send>;
+///
+/// `FnMut` (not `FnOnce`) so the engine can re-invoke the program from
+/// the top after a crash-restart fault.
+pub type FreeAgent = Box<dyn FnMut(&mut FreeCtx) -> Result<AgentOutcome, Interrupt> + Send>;
 
 /// Execute a protocol with genuine parallelism. See [`crate::gated::run_gated`]
 /// for the placement/color conventions (identical).
+///
+/// Fault-free, panicking shim over [`try_run_free`]; kept for callers that
+/// predate the unified [`mod@crate::run`] front door.
 pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
+    match try_run_free(bc, cfg, &FaultPlan::none(), agents) {
+        Ok(r) => r,
+        Err(e) => panic!("free run failed: {e}"),
+    }
+}
+
+/// Execute a protocol with genuine parallelism under a [`FaultPlan`],
+/// surfacing agent panics and engine failures as typed [`RunError`]s.
+///
+/// Crashed agents restart from their home-base with volatile state lost
+/// (the whiteboards persist); delays burn charged ops. Because the
+/// free-running engine has no deterministic scheduler, identical plans
+/// do **not** replay bit-for-bit here — cross-engine agreement is checked
+/// at the oracle level instead (see the `qelectctl faults` sweep).
+pub fn try_run_free(
+    bc: &Bicolored,
+    cfg: FreeRunConfig,
+    faults: &FaultPlan,
+    agents: Vec<FreeAgent>,
+) -> Result<RunReport, RunError> {
     let cache_before = qelect_graph::cache::global().stats();
     let r = agents.len();
     assert_eq!(r, bc.r(), "one agent program per home-base");
@@ -255,6 +377,9 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         max_ops: cfg.max_ops,
         port_seed: cfg.seed.wrapping_add(0x9047_5EED),
         scramble_ports: cfg.scramble_ports,
+        fault_stats: FaultStats::default(),
+        faults_armed: faults.has_crashes(),
+        panics: Mutex::new(Vec::new()),
     });
     for (i, &hb) in bc.homebases().iter().enumerate() {
         shared.boards[hb]
@@ -268,23 +393,46 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
     let done = AtomicU64::new(0);
 
     std::thread::scope(|scope| {
-        for (i, program) in agents.into_iter().enumerate() {
+        for (i, mut program) in agents.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let outcomes = &outcomes;
             let done = &done;
             let color = colors[i];
             let hb = bc.homebases()[i];
+            let agent_faults = FaultClock::new(faults, i);
+            let recovery = faults.recovery;
             scope.spawn(move || {
                 let mut ctx = FreeCtx {
                     shared,
                     id: i,
                     color,
                     node: hb,
+                    home: hb,
                     entry: None,
+                    faults: agent_faults,
+                    recovery,
                 };
-                let outcome = match program(&mut ctx) {
-                    Ok(o) => o,
-                    Err(int) => AgentOutcome::Interrupted(int),
+                // Invoke-and-restart loop: a crash fault aborts the
+                // program, then `begin_restart` resets volatile state and
+                // we re-enter it from the top (whiteboards persist).
+                // Panics are caught so the watchdog and the other agents
+                // still terminate; safe under `forbid(unsafe_code)`.
+                let outcome = loop {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                        Ok(Ok(o)) => break o,
+                        Ok(Err(Interrupt::Crashed)) => match ctx.begin_restart() {
+                            Ok(()) => continue,
+                            Err(int) => break AgentOutcome::Interrupted(int),
+                        },
+                        Ok(Err(int)) => break AgentOutcome::Interrupted(int),
+                        Err(payload) => {
+                            ctx.shared
+                                .panics
+                                .lock()
+                                .push((i, panic_message(payload.as_ref())));
+                            break AgentOutcome::Interrupted(Interrupt::Cancelled);
+                        }
+                    }
                 };
                 // Seal spans an interrupt (or a sloppy protocol) left
                 // open, so their work still reaches the breakdown.
@@ -312,6 +460,10 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         });
     });
 
+    if let Some((agent, message)) = shared.panics.lock().first().cloned() {
+        return Err(RunError::AgentPanicked { agent, message });
+    }
+
     let outcomes = outcomes.into_inner();
     let leader = {
         let leaders: Vec<usize> = outcomes
@@ -334,8 +486,9 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         preemptions: 0,
         canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
         spans: shared.trackers.iter().flat_map(|t| t.take()).collect(),
+        faults: shared.fault_stats.snapshot(),
     };
-    RunReport {
+    Ok(RunReport {
         outcomes,
         leader,
         colors,
@@ -344,7 +497,7 @@ pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> R
         policy: "free-running",
         trace: Vec::new(),
         events: Vec::new(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -488,5 +641,89 @@ mod tests {
         let report = run_free(&bc, FreeRunConfig::default(), agents);
         assert_eq!(report.metrics.total_moves(), (n * 10) as u64);
         assert!(report.metrics.total_accesses() >= (n * 10) as u64);
+    }
+
+    #[test]
+    fn crash_restarts_and_recovers_under_parallelism() {
+        use crate::fault::{FaultAction, FaultEvent};
+        // One agent, crashed on its second whiteboard access; on restart
+        // it re-runs from its home-base and still finishes.
+        let bc = instance(6, &[0]);
+        let walker = || -> FreeAgent {
+            Box::new(|ctx: &mut FreeCtx| {
+                for _ in 0..3 {
+                    ctx.move_via(LocalPort(0))?;
+                }
+                Ok(AgentOutcome::Leader)
+            })
+        };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                agent: 0,
+                at_op: 2,
+                action: FaultAction::Crash { restart_after: 1 },
+            }],
+            ..FaultPlan::default()
+        };
+        let report = try_run_free(&bc, FreeRunConfig::default(), &plan, vec![walker()]).unwrap();
+        assert_eq!(report.outcomes[0], AgentOutcome::Leader);
+        assert_eq!(report.metrics.faults.crashes, 1);
+        assert_eq!(report.metrics.faults.restarts, 1);
+        // One pre-crash move, then three post-restart moves.
+        assert_eq!(report.metrics.total_moves(), 4);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_interrupts_agent() {
+        use crate::fault::{FaultAction, FaultEvent, RecoveryPolicy};
+        let bc = instance(6, &[0]);
+        let walker: FreeAgent = Box::new(|ctx: &mut FreeCtx| {
+            ctx.move_via(LocalPort(0))?;
+            Ok(AgentOutcome::Leader)
+        });
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    agent: 0,
+                    at_op: 1,
+                    action: FaultAction::Crash { restart_after: 0 },
+                },
+                FaultEvent {
+                    agent: 0,
+                    at_op: 2,
+                    action: FaultAction::Crash { restart_after: 0 },
+                },
+            ],
+            recovery: RecoveryPolicy {
+                max_restarts: 1,
+                ..RecoveryPolicy::default()
+            },
+        };
+        let report = try_run_free(&bc, FreeRunConfig::default(), &plan, vec![walker]).unwrap();
+        assert_eq!(
+            report.outcomes[0],
+            AgentOutcome::Interrupted(Interrupt::Crashed)
+        );
+        assert_eq!(report.metrics.faults.aborted, 1);
+    }
+
+    #[test]
+    fn agent_panic_is_a_typed_error() {
+        let bc = instance(3, &[0]);
+        let bomb: FreeAgent = Box::new(|_ctx: &mut FreeCtx| panic!("free bomb"));
+        let err = try_run_free(
+            &bc,
+            FreeRunConfig::default(),
+            &FaultPlan::none(),
+            vec![bomb],
+        )
+        .unwrap_err();
+        match err {
+            RunError::AgentPanicked { agent, message } => {
+                assert_eq!(agent, 0);
+                assert!(message.contains("free bomb"));
+            }
+            other => panic!("expected AgentPanicked, got {other}"),
+        }
     }
 }

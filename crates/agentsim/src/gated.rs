@@ -16,7 +16,9 @@
 
 use crate::color::{Color, ColorRegistry};
 use crate::ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
+use crate::fault::{FaultAction, FaultClock, FaultPlan, FaultStats, RecoveryPolicy};
 use crate::metrics::{AgentMetrics, Checkpoint, Metrics, SpanTracker};
+use crate::run::RunError;
 use crate::sched::{Policy, Scheduler};
 use crate::sign::{Sign, SignKind};
 use crate::trace::{sign_kind_code, PrimOp, Trace, TraceEvent};
@@ -24,6 +26,7 @@ use crate::whiteboard::Whiteboard;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use qelect_graph::{Bicolored, Graph, Port};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -136,6 +139,14 @@ struct Shared {
     /// order; the mutex only covers the cross-thread handoff.
     events: Mutex<Vec<TraceEvent>>,
     record_events: bool,
+    /// Fault-injection accumulators (all zero on crash-free runs).
+    fault_stats: FaultStats,
+    /// Whether the run's plan contains crash events (what
+    /// [`MobileCtx::crash_faults_armed`] reports to protocols).
+    faults_armed: bool,
+    /// Panic payloads caught at the agent-program boundary, surfaced as
+    /// [`RunError::AgentPanicked`] once the run winds down.
+    panics: Mutex<Vec<(usize, String)>>,
 }
 
 impl Shared {
@@ -188,15 +199,29 @@ fn recv_spin<T>(rx: &Receiver<T>) -> Result<T, crossbeam::channel::RecvError> {
     rx.recv()
 }
 
+/// Best-effort extraction of a caught panic's message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The concrete [`MobileCtx`] of the gated engine.
 pub struct GatedCtx {
     shared: Arc<Shared>,
     id: usize,
     color: Color,
     node: usize,
+    home: usize,
     entry: Option<LocalPort>,
     req_tx: Sender<Msg>,
     grant_rx: Receiver<Grant>,
+    faults: FaultClock,
+    recovery: RecoveryPolicy,
 }
 
 impl GatedCtx {
@@ -227,6 +252,93 @@ impl GatedCtx {
             });
         }
     }
+
+    /// The whiteboard-access boundary hook: advance this agent's
+    /// operation counter and apply any fault due here. Runs *before* the
+    /// gate request, so a crash loses the pending operation without
+    /// consuming a scheduler grant; delays consume extra grants (visible
+    /// stall ticks in the recorded trace).
+    fn fault_gate(&mut self) -> Result<(), Interrupt> {
+        self.faults.advance();
+        while let Some(action) = self.faults.take_due() {
+            match action {
+                FaultAction::Delay { ticks } => {
+                    self.shared
+                        .fault_stats
+                        .delay_ticks
+                        .fetch_add(ticks, Ordering::Relaxed);
+                    for _ in 0..ticks {
+                        let tick = self.gate_op()?;
+                        self.record(
+                            tick,
+                            PrimOp::Wait {
+                                node: self.node,
+                                woke: false,
+                            },
+                        );
+                    }
+                }
+                FaultAction::Crash { restart_after } => {
+                    self.faults.note_crash(restart_after);
+                    self.shared
+                        .fault_stats
+                        .crashes
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .fault_stats
+                        .lost_ops
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(Interrupt::Crashed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Prepare the context for a post-crash restart: seal the spans the
+    /// crash tore through, reset volatile state to the home-base, bump
+    /// the incarnation, and stall for the crash's `restart_after` plus
+    /// the recovery policy's bounded exponential backoff (the ticks
+    /// model re-acquiring board access after coming back up). Fails with
+    /// [`Interrupt::Crashed`] when the restart budget is exhausted —
+    /// the agent then terminates crashed.
+    fn begin_restart(&mut self) -> Result<(), Interrupt> {
+        let incarnation = self.faults.incarnation() + 1;
+        if incarnation > self.recovery.max_restarts {
+            self.shared
+                .fault_stats
+                .aborted
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Interrupt::Crashed);
+        }
+        self.shared.trackers[self.id].force_close_all(
+            self.shared.metrics[self.id].snapshot(),
+            Some(qelect_graph::cache::global().stats()),
+        );
+        self.faults.restart();
+        self.shared
+            .fault_stats
+            .restarts
+            .fetch_add(1, Ordering::Relaxed);
+        self.node = self.home;
+        self.entry = None;
+        let stall = self.faults.take_restart_stall() + self.recovery.backoff(incarnation);
+        self.shared
+            .fault_stats
+            .backoff_ticks
+            .fetch_add(stall, Ordering::Relaxed);
+        for _ in 0..stall {
+            let tick = self.gate_op()?;
+            self.record(
+                tick,
+                PrimOp::Wait {
+                    node: self.node,
+                    woke: false,
+                },
+            );
+        }
+        Ok(())
+    }
 }
 
 impl MobileCtx for GatedCtx {
@@ -243,6 +355,7 @@ impl MobileCtx for GatedCtx {
     }
 
     fn read_board(&mut self) -> Result<Vec<Sign>, Interrupt> {
+        self.fault_gate()?;
         let tick = self.gate_op()?;
         self.count_access();
         let board = self.shared.boards[self.node].lock();
@@ -251,6 +364,7 @@ impl MobileCtx for GatedCtx {
     }
 
     fn with_board<R>(&mut self, f: impl FnOnce(&mut Whiteboard) -> R) -> Result<R, Interrupt> {
+        self.fault_gate()?;
         let tick = self.gate_op()?;
         self.count_access();
         let mut board = self.shared.boards[self.node].lock();
@@ -278,6 +392,7 @@ impl MobileCtx for GatedCtx {
     }
 
     fn move_via(&mut self, port: LocalPort) -> Result<(), Interrupt> {
+        self.fault_gate()?;
         let tick = self.gate_op()?;
         let from = self.node;
         let map = self.shared.port_map(self.id, self.node);
@@ -306,6 +421,10 @@ impl MobileCtx for GatedCtx {
     }
 
     fn wait_until(&mut self, pred: impl Fn(&Whiteboard) -> bool) -> Result<(), Interrupt> {
+        // One boundary per wait *entry*: the re-check cadence below is
+        // engine-dependent, so counting it would break the cross-engine
+        // addressability of fault plans.
+        self.fault_gate()?;
         let mut seen: Option<u64> = None;
         loop {
             self.req_tx
@@ -366,10 +485,20 @@ impl MobileCtx for GatedCtx {
             Some(qelect_graph::cache::global().stats()),
         );
     }
+
+    fn incarnation(&self) -> u64 {
+        self.faults.incarnation()
+    }
+
+    fn crash_faults_armed(&self) -> bool {
+        self.shared.faults_armed
+    }
 }
 
-/// A boxed agent program for the gated engine.
-pub type GatedAgent = Box<dyn FnOnce(&mut GatedCtx) -> Result<AgentOutcome, Interrupt> + Send>;
+/// A boxed agent program for the gated engine. `FnMut` (not `FnOnce`)
+/// so the engine can re-invoke the program after a crash-restart; a
+/// plain closure or fn item qualifies unchanged.
+pub type GatedAgent = Box<dyn FnMut(&mut GatedCtx) -> Result<AgentOutcome, Interrupt> + Send>;
 
 /// Run with the paper's wake-up semantics: only the agents listed in
 /// `awake` start spontaneously; every other agent sleeps at its
@@ -392,7 +521,7 @@ pub fn run_gated_staggered(
     let wrapped: Vec<GatedAgent> = agents
         .into_iter()
         .enumerate()
-        .map(|(i, program)| -> GatedAgent {
+        .map(|(i, mut program)| -> GatedAgent {
             if awake.contains(&i) {
                 program
             } else {
@@ -424,6 +553,9 @@ enum St {
 /// starts at the `i`-th home-base in sorted order, carrying a fresh
 /// color). Home-bases are pre-marked with a [`SignKind::HomeBase`] sign
 /// of the resident's color, as the model prescribes.
+///
+/// Thin shim over [`try_run_gated_with`] (crash-free, panics on
+/// [`RunError`]); new code should prefer [`crate::run::run`].
 pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
     let mut scheduler = cfg.policy.build(cfg.seed);
     run_gated_with(bc, cfg, agents, scheduler.as_mut())
@@ -435,12 +567,46 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
 /// exploration ([`crate::explore`]) drive the engine: the caller keeps
 /// the scheduler and can inspect its state (divergence, decision log)
 /// after the run.
+///
+/// Thin shim over [`try_run_gated_with`] (crash-free, panics on
+/// [`RunError`] — the pre-typed-error behavior); new code should prefer
+/// [`crate::run::run`].
 pub fn run_gated_with(
     bc: &Bicolored,
     cfg: RunConfig,
     agents: Vec<GatedAgent>,
     scheduler: &mut dyn Scheduler,
 ) -> RunReport {
+    match try_run_gated_with(bc, cfg, &FaultPlan::none(), agents, scheduler) {
+        Ok(report) => report,
+        Err(e) => panic!("gated run failed: {e}"),
+    }
+}
+
+/// Run a gated election under a fault plan with a policy-built
+/// scheduler.
+pub fn run_gated_faulty(
+    bc: &Bicolored,
+    cfg: RunConfig,
+    faults: &FaultPlan,
+    agents: Vec<GatedAgent>,
+) -> Result<RunReport, RunError> {
+    let mut scheduler = cfg.policy.build(cfg.seed);
+    try_run_gated_with(bc, cfg, faults, agents, scheduler.as_mut())
+}
+
+/// The full-featured gated entry point: caller-supplied scheduler,
+/// fault plan, typed errors. Protocol-level interrupts (deadlock, step
+/// budget, exhausted restart budgets) are *not* errors — they come back
+/// inside the report; `Err` means the run itself lost integrity (an
+/// agent panicked or an engine channel died).
+pub fn try_run_gated_with(
+    bc: &Bicolored,
+    cfg: RunConfig,
+    faults: &FaultPlan,
+    agents: Vec<GatedAgent>,
+    scheduler: &mut dyn Scheduler,
+) -> Result<RunReport, RunError> {
     let cache_before = qelect_graph::cache::global().stats();
     let r = agents.len();
     assert_eq!(
@@ -463,6 +629,9 @@ pub fn run_gated_with(
         scramble_ports: cfg.scramble_ports,
         events: Mutex::new(Vec::new()),
         record_events: cfg.record_trace,
+        fault_stats: FaultStats::default(),
+        faults_armed: faults.has_crashes(),
+        panics: Mutex::new(Vec::new()),
     });
     // Pre-mark home-bases.
     for (i, &hb) in bc.homebases().iter().enumerate() {
@@ -477,11 +646,12 @@ pub fn run_gated_with(
     let mut steps: u64 = 0;
     let mut preemptions: u64 = 0;
     let mut interrupted: Option<Interrupt> = None;
+    let mut run_error: Option<RunError> = None;
     let mut trace: Vec<usize> = Vec::new();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(r);
-        for (i, program) in agents.into_iter().enumerate() {
+        for (i, mut program) in agents.into_iter().enumerate() {
             let (gtx, grx) = unbounded::<Grant>();
             grant_txs.push(gtx);
             let mut ctx = GatedCtx {
@@ -489,15 +659,35 @@ pub fn run_gated_with(
                 id: i,
                 color: colors[i],
                 node: bc.homebases()[i],
+                home: bc.homebases()[i],
                 entry: None,
                 req_tx: req_tx.clone(),
                 grant_rx: grx,
+                faults: FaultClock::new(faults, i),
+                recovery: faults.recovery,
             };
             let tx = req_tx.clone();
             handles.push(scope.spawn(move || {
-                let outcome = match program(&mut ctx) {
-                    Ok(o) => o,
-                    Err(i) => AgentOutcome::Interrupted(i),
+                // Invoke-and-restart loop: a crash restarts the program
+                // from scratch (bounded by the recovery policy); a panic
+                // is caught so the scheduler always hears Finished and
+                // the run surfaces a typed error instead of hanging.
+                let outcome = loop {
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| program(&mut ctx))) {
+                        Ok(Ok(o)) => break o,
+                        Ok(Err(Interrupt::Crashed)) => match ctx.begin_restart() {
+                            Ok(()) => continue,
+                            Err(int) => break AgentOutcome::Interrupted(int),
+                        },
+                        Ok(Err(int)) => break AgentOutcome::Interrupted(int),
+                        Err(payload) => {
+                            ctx.shared
+                                .panics
+                                .lock()
+                                .push((ctx.id, panic_message(payload.as_ref())));
+                            break AgentOutcome::Interrupted(Interrupt::Cancelled);
+                        }
+                    }
                 };
                 // Seal spans an interrupt (or a sloppy protocol) left
                 // open, so their work still reaches the breakdown.
@@ -532,11 +722,20 @@ pub fn run_gated_with(
                 }
             };
 
-        while live > 0 {
+        'sched: while live > 0 {
             // Ensure every live agent is parked (or done).
             while st.contains(&St::Running) {
-                let msg = recv_spin(&req_rx).expect("agents alive");
-                apply(msg, &mut st, &mut outcomes, &mut live);
+                match recv_spin(&req_rx) {
+                    Ok(msg) => apply(msg, &mut st, &mut outcomes, &mut live),
+                    Err(_) => {
+                        // A live agent's thread died without reporting —
+                        // unreachable given the panic guard, but typed.
+                        run_error = Some(RunError::ChannelDisconnected {
+                            stage: "awaiting agent park",
+                        });
+                        break 'sched;
+                    }
+                }
             }
             if live == 0 {
                 break;
@@ -597,17 +796,35 @@ pub fn run_gated_with(
                 trace.push(pick);
             }
             st[pick] = St::Running;
-            grant_txs[pick]
-                .send(Grant::Go(steps))
-                .expect("granted agent is alive");
+            if grant_txs[pick].send(Grant::Go(steps)).is_err() {
+                run_error = Some(RunError::ChannelDisconnected {
+                    stage: "granting a parked agent",
+                });
+                break 'sched;
+            }
             // Block until the granted agent parks again or finishes —
             // everyone else is already parked, so the next message is its.
-            let msg = recv_spin(&req_rx).expect("granted agent will report");
-            apply(msg, &mut st, &mut outcomes, &mut live);
+            match recv_spin(&req_rx) {
+                Ok(msg) => apply(msg, &mut st, &mut outcomes, &mut live),
+                Err(_) => {
+                    run_error = Some(RunError::ChannelDisconnected {
+                        stage: "awaiting granted agent's report",
+                    });
+                    break 'sched;
+                }
+            }
         }
 
+        // Breaking out with agents still parked drops their grant
+        // channels, which aborts them with Cancelled; their Finished
+        // messages land in a closed channel harmlessly.
+        grant_txs.clear();
         for h in handles {
-            h.join().expect("agent thread must not panic");
+            if h.join().is_err() && run_error.is_none() {
+                run_error = Some(RunError::ChannelDisconnected {
+                    stage: "joining agent threads",
+                });
+            }
         }
     });
 
@@ -625,6 +842,13 @@ pub fn run_gated_with(
         }
     };
 
+    if let Some((agent, message)) = shared.panics.lock().first().cloned() {
+        return Err(RunError::AgentPanicked { agent, message });
+    }
+    if let Some(e) = run_error {
+        return Err(e);
+    }
+
     let metrics = Metrics {
         per_agent: shared.metrics.iter().map(|m| m.snapshot()).collect(),
         checkpoints: shared.checkpoints.lock().clone(),
@@ -632,10 +856,11 @@ pub fn run_gated_with(
         preemptions,
         canon_cache: Some(cache_before.delta(&qelect_graph::cache::global().stats())),
         spans: shared.trackers.iter().flat_map(|t| t.take()).collect(),
+        faults: shared.fault_stats.snapshot(),
     };
 
     let events = std::mem::take(&mut *shared.events.lock());
-    RunReport {
+    Ok(RunReport {
         outcomes,
         leader,
         colors,
@@ -644,7 +869,7 @@ pub fn run_gated_with(
         policy: scheduler.name(),
         trace,
         events,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -900,6 +1125,9 @@ mod tests {
             scramble_ports: true,
             events: Mutex::new(Vec::new()),
             record_events: false,
+            fault_stats: FaultStats::default(),
+            faults_armed: false,
+            panics: Mutex::new(Vec::new()),
         };
         let m0 = shared.port_map(0, 2);
         let m0_again = shared.port_map(0, 2);
@@ -944,6 +1172,155 @@ mod tests {
             ..RunConfig::default()
         };
         assert!(run_gated(&bc, cfg, vec![mk(), mk()]).trace.is_empty());
+    }
+
+    #[test]
+    fn crash_restarts_at_home_with_volatile_state_lost() {
+        use crate::fault::{FaultEvent, RecoveryPolicy};
+        let bc = instance(6, &[0]);
+        // The program walks two hops, then posts a Visited sign wherever
+        // it stands. A crash at op 2 (the second move) loses that move;
+        // the restart re-runs from the home-base with entry() cleared.
+        let incarnations = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let seen = Arc::clone(&incarnations);
+        let program: GatedAgent = Box::new(move |ctx: &mut GatedCtx| {
+            seen.lock().push((ctx.incarnation(), ctx.entry()));
+            ctx.move_via(LocalPort(0))?;
+            ctx.move_via(LocalPort(0))?;
+            ctx.with_board(|wb| wb.post(Sign::tag(Color::from_nonce(7), SignKind::Visited)))?;
+            Ok(AgentOutcome::Leader)
+        });
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                agent: 0,
+                at_op: 2,
+                action: FaultAction::Crash { restart_after: 1 },
+            }],
+            recovery: RecoveryPolicy::default(),
+        };
+        let report = run_gated_faulty(&bc, RunConfig::default(), &plan, vec![program]).unwrap();
+        assert_eq!(report.outcomes, vec![AgentOutcome::Leader]);
+        assert_eq!(report.metrics.faults.crashes, 1);
+        assert_eq!(report.metrics.faults.restarts, 1);
+        assert!(report.metrics.faults.backoff_ticks >= 1);
+        let seen = incarnations.lock().clone();
+        assert_eq!(
+            seen,
+            vec![(0, None), (1, None)],
+            "restart re-enters the program at home (entry cleared) with a bumped incarnation"
+        );
+        // The lost move means the restart walks the full two hops again:
+        // 1 (pre-crash) + 2 (restart) = 3 moves.
+        assert_eq!(report.metrics.total_moves(), 3);
+    }
+
+    #[test]
+    fn exhausted_restart_budget_terminates_crashed() {
+        use crate::fault::{FaultEvent, RecoveryPolicy};
+        let bc = instance(4, &[0, 2]);
+        // Agent 0 crashes at its first op in every incarnation: two
+        // events, budget one restart.
+        let plan = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    agent: 0,
+                    at_op: 1,
+                    action: FaultAction::Crash { restart_after: 0 },
+                },
+                FaultEvent {
+                    agent: 0,
+                    at_op: 2,
+                    action: FaultAction::Crash { restart_after: 0 },
+                },
+            ],
+            recovery: RecoveryPolicy {
+                max_restarts: 1,
+                ..RecoveryPolicy::default()
+            },
+        };
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                ctx.read_board()?;
+                ctx.read_board()?;
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let report = run_gated_faulty(&bc, RunConfig::default(), &plan, vec![mk(), mk()]).unwrap();
+        assert_eq!(
+            report.outcomes[0],
+            AgentOutcome::Interrupted(Interrupt::Crashed),
+            "budget exhausted ⇒ the agent stays down"
+        );
+        assert_eq!(report.outcomes[1], AgentOutcome::Defeated);
+        assert_eq!(report.metrics.faults.aborted, 1);
+    }
+
+    #[test]
+    fn delays_stall_but_do_not_change_outcomes() {
+        use crate::fault::{FaultEvent, RecoveryPolicy};
+        let bc = instance(5, &[0, 2]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                for _ in 0..3 {
+                    ctx.move_via(LocalPort(0))?;
+                }
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                agent: 1,
+                at_op: 2,
+                action: FaultAction::Delay { ticks: 5 },
+            }],
+            recovery: RecoveryPolicy::default(),
+        };
+        let faulty = run_gated_faulty(&bc, RunConfig::default(), &plan, vec![mk(), mk()]).unwrap();
+        let clean = run_gated(&bc, RunConfig::default(), vec![mk(), mk()]);
+        assert_eq!(faulty.outcomes, clean.outcomes);
+        assert_eq!(faulty.metrics.total_moves(), clean.metrics.total_moves());
+        assert_eq!(faulty.metrics.faults.delay_ticks, 5);
+        assert_eq!(faulty.metrics.steps, clean.metrics.steps + 5);
+    }
+
+    #[test]
+    fn identical_fault_plans_replay_bit_for_bit() {
+        use crate::fault::{FaultEvent, RecoveryPolicy};
+        use crate::sched::ReplayScheduler;
+        let bc = instance(6, &[0, 3]);
+        let mk = || -> GatedAgent {
+            Box::new(|ctx: &mut GatedCtx| {
+                for _ in 0..6 {
+                    ctx.move_via(LocalPort(0))?;
+                    ctx.with_board(|wb| {
+                        wb.post(Sign::tag(Color::from_nonce(0), SignKind::Visited))
+                    })?;
+                }
+                Ok(AgentOutcome::Defeated)
+            })
+        };
+        let plan = FaultPlan {
+            events: vec![FaultEvent {
+                agent: 0,
+                at_op: 4,
+                action: FaultAction::Crash { restart_after: 2 },
+            }],
+            recovery: RecoveryPolicy::default(),
+        };
+        let cfg = RunConfig {
+            seed: 21,
+            record_trace: true,
+            ..RunConfig::default()
+        };
+        let first = run_gated_faulty(&bc, cfg, &plan, vec![mk(), mk()]).unwrap();
+        assert_eq!(first.metrics.faults.crashes, 1);
+        let mut replay = ReplayScheduler::strict(first.trace.clone());
+        let second = try_run_gated_with(&bc, cfg, &plan, vec![mk(), mk()], &mut replay).unwrap();
+        assert_eq!(second.outcomes, first.outcomes);
+        assert_eq!(second.trace, first.trace);
+        assert_eq!(second.events, first.events);
+        assert_eq!(second.metrics.per_agent, first.metrics.per_agent);
+        assert_eq!(second.metrics.faults, first.metrics.faults);
     }
 
     #[test]

@@ -67,6 +67,67 @@ pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// The shared versioned-envelope convention of every JSON document the
+/// workspace emits.
+///
+/// Each document is an object whose first field is
+/// `"schema": "<name>/<version>"`; readers call [`envelope::check`] (or
+/// [`envelope::check_document`]) before trusting any other field, so a
+/// format bump is a loud, typed failure instead of a silent misparse.
+/// The four schemas — audit, sweep, trace, faults — are declared here
+/// once and nowhere else.
+pub mod envelope {
+    use super::{get, parse, Value};
+
+    /// `qelectctl audit` reports (and the committed audit baseline).
+    pub const AUDIT: &str = "qelect-audit/1";
+    /// `qelectctl sweep --json` reports.
+    pub const SWEEP: &str = "qelect-sweep/1";
+    /// Recorded traces (`tests/traces/*.json`). Legacy trace files
+    /// predate the envelope and carry `"version": 1` instead of a
+    /// `"schema"` field; [`check`] grandfathers them in.
+    pub const TRACE: &str = "qelect-trace/1";
+    /// `qelectctl faults` reports and serialized fault plans.
+    pub const FAULTS: &str = "qelect-faults/1";
+
+    /// The opening `"schema"` line every writer emits first (two-space
+    /// indented, trailing comma — the house object style).
+    pub fn header(schema: &str) -> String {
+        format!("  \"schema\": {},\n", super::escape(schema))
+    }
+
+    /// Check a parsed document's envelope against the expected schema.
+    pub fn check(obj: &[(String, Value)], expected: &str) -> Result<(), String> {
+        match get(obj, "schema").and_then(Value::as_str) {
+            Some(s) if s == expected => Ok(()),
+            Some(s) => Err(format!(
+                "schema mismatch: expected {expected:?}, found {s:?}"
+            )),
+            None => {
+                if expected == TRACE && get(obj, "version").and_then(Value::as_num) == Some(1.0) {
+                    // Pre-envelope trace files.
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "document lacks a \"schema\" field (expected {expected:?})"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Parse a document and check its envelope in one step; returns the
+    /// parsed object's fields.
+    pub fn check_document(text: &str, expected: &str) -> Result<Vec<(String, Value)>, String> {
+        let value = parse(text)?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| format!("{expected} document must be a JSON object"))?;
+        check(obj, expected)?;
+        Ok(obj.to_vec())
+    }
+}
+
 /// Serialize a string as a JSON string literal (quoted, escaped).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -284,5 +345,26 @@ mod tests {
     fn rejects_trailing_garbage() {
         assert!(parse("{} x").is_err());
         assert!(parse("[1,").is_err());
+    }
+
+    #[test]
+    fn envelope_checks_schema() {
+        let doc = format!("{{{} \"x\": 1}}", envelope::header(envelope::AUDIT));
+        let fields = envelope::check_document(&doc, envelope::AUDIT).unwrap();
+        assert_eq!(get(&fields, "x").unwrap().as_num(), Some(1.0));
+        assert!(envelope::check_document(&doc, envelope::SWEEP).is_err());
+        assert!(envelope::check_document("{\"x\": 1}", envelope::AUDIT).is_err());
+        assert!(envelope::check_document("[1]", envelope::AUDIT).is_err());
+    }
+
+    #[test]
+    fn envelope_grandfathers_legacy_traces() {
+        let legacy = r#"{"version": 1, "label": "old"}"#;
+        assert!(envelope::check_document(legacy, envelope::TRACE).is_ok());
+        // But only traces: the same shape is rejected for other schemas.
+        assert!(envelope::check_document(legacy, envelope::FAULTS).is_err());
+        // And only version 1.
+        let v2 = r#"{"version": 2}"#;
+        assert!(envelope::check_document(v2, envelope::TRACE).is_err());
     }
 }

@@ -36,21 +36,31 @@
 //! ([`stepagent::StepAgent`]) is executed by an anonymous processor
 //! network in which *messages are agents*.
 //!
+//! The [`mod@run`] module is the unified front door over both engines: a
+//! [`RunConfig`] builder selects an [`Engine`], optional [`fault::FaultPlan`]
+//! and replay schedule, and [`run()`] executes any [`Protocol`]
+//! implementation, returning an [`ElectionRun`] or a typed [`RunError`].
+//! [`fault`] provides deterministic, schedule-addressed fault injection:
+//! crash an agent at any whiteboard-access boundary, lose or delay its
+//! pending move, and restart it with only whiteboard-persisted state.
+//!
 //! ```
-//! use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
-//! use qelect_agentsim::AgentOutcome;
+//! use qelect_agentsim::{run, AgentOutcome, Engine, Interrupt, MobileCtx, Protocol, RunConfig};
 //! use qelect_graph::{families, Bicolored};
 //!
 //! // A one-agent protocol: read the home whiteboard, claim leadership.
+//! #[derive(Clone)]
+//! struct ClaimHome;
+//! impl Protocol for ClaimHome {
+//!     fn run<C: MobileCtx>(&self, ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+//!         let board = ctx.read_board()?;
+//!         assert!(!board.is_empty()); // the pre-placed HomeBase sign
+//!         Ok(AgentOutcome::Leader)
+//!     }
+//! }
 //! let bc = Bicolored::new(families::cycle(5).unwrap(), &[2]).unwrap();
-//! let agent: GatedAgent = Box::new(|ctx| {
-//!     use qelect_agentsim::MobileCtx;
-//!     let board = ctx.read_board()?;
-//!     assert!(!board.is_empty()); // the pre-placed HomeBase sign
-//!     Ok(AgentOutcome::Leader)
-//! });
-//! let report = run_gated(&bc, RunConfig::default(), vec![agent]);
-//! assert_eq!(report.leader, Some(0));
+//! let election = run(&bc, &RunConfig::new(0).engine(Engine::Gated), &ClaimHome).unwrap();
+//! assert_eq!(election.report.leader, Some(0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -59,11 +69,13 @@
 pub mod color;
 pub mod ctx;
 pub mod explore;
+pub mod fault;
 pub mod freerun;
 pub mod gated;
 pub mod json;
 pub mod message_net;
 pub mod metrics;
+pub mod run;
 pub mod sched;
 pub mod shuffle;
 pub mod sign;
@@ -74,8 +86,10 @@ pub mod whiteboard;
 pub use color::{Color, ColorRegistry};
 pub use ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
 pub use explore::{explore_schedules, shrink_schedule, shrink_trace, ExploreConfig, ExploreReport};
-pub use gated::{run_gated, run_gated_with, GatedCtx, RunConfig, RunReport};
+pub use fault::{shrink_plan, FaultAction, FaultEvent, FaultPlan, FaultSummary, RecoveryPolicy};
+pub use gated::{run_gated, run_gated_with, GatedCtx, RunReport};
 pub use metrics::{AgentMetrics, Metrics, PhaseBreakdown, PhaseSpan, SpanTracker, UNSPANNED};
+pub use run::{run, ElectionRun, Engine, Protocol, ReplaySpec, RunConfig, RunError};
 pub use sched::{
     LockstepScheduler, RandomScheduler, ReplayScheduler, RoundRobinScheduler, Scheduler,
 };

@@ -368,6 +368,8 @@ pub struct Metrics {
     /// Closed phase spans of every agent, in close order per agent.
     /// Empty for engines (or protocols) that emit none.
     pub spans: Vec<PhaseSpan>,
+    /// Fault-injection activity (all zero for crash-free runs).
+    pub faults: crate::fault::FaultSummary,
 }
 
 impl Metrics {

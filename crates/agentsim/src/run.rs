@@ -1,0 +1,431 @@
+//! The unified front door for running a protocol: one [`RunConfig`]
+//! builder, one [`Engine`] choice, one [`ElectionRun`] result.
+//!
+//! Historically each way of running a protocol had its own entry point
+//! with its own config type — `gated::run_gated` (policy scheduling),
+//! `gated::run_gated_with` (replay / exploration), `freerun::run_free`
+//! (true parallelism) — and every caller (qelectctl, the sweep engine,
+//! the test suites) re-assembled the same plumbing by hand. [`run`]
+//! collapses them: describe the run declaratively with a [`RunConfig`],
+//! hand over anything implementing [`Protocol`], and get back an
+//! [`ElectionRun`] or a typed [`RunError`]. The old free functions
+//! remain as thin shims over this path.
+//!
+//! Fault injection rides the same door: [`RunConfig::faults`] attaches a
+//! [`FaultPlan`], and the run's fault activity comes back in
+//! [`ElectionRun::faults`].
+
+use crate::ctx::{AgentOutcome, Interrupt, MobileCtx};
+use crate::fault::{FaultPlan, FaultSummary};
+use crate::freerun::{try_run_free, FreeAgent, FreeRunConfig};
+use crate::gated::{self, GatedAgent, RunReport};
+use crate::sched::{Policy, ReplayScheduler};
+use qelect_graph::Bicolored;
+use std::fmt;
+use std::time::Duration;
+
+/// Which execution engine carries the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The deterministic scheduler-gated engine (default): every
+    /// primitive passes through a grant gate, the run is a pure function
+    /// of `(instance, protocol, policy, seed, fault plan)`.
+    Gated,
+    /// The free-running engine: one OS thread per agent, genuine
+    /// parallelism, schedule-dependent interleavings.
+    Free,
+}
+
+impl Engine {
+    /// Stable lowercase name (used in reports and CLI flags).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Gated => "gated",
+            Engine::Free => "free",
+        }
+    }
+}
+
+/// A recorded grant schedule to replay (gated engine only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySpec {
+    /// The grant sequence (agent index per scheduler step).
+    pub schedule: Vec<usize>,
+    /// Strict mode panics on the first divergence (the regression-test
+    /// setting); lenient mode records it and falls back to the lowest
+    /// ready agent (what the shrinker wants).
+    pub strict: bool,
+}
+
+/// Declarative description of one run, consumed by [`run`].
+///
+/// Build it fluently: `RunConfig::new(7).engine(Engine::Free).faults(plan)`.
+/// Defaults mirror the per-engine config defaults
+/// ([`gated::RunConfig`], [`FreeRunConfig`]).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Master seed: colors, port scrambles, and the random policy.
+    pub seed: u64,
+    /// Which engine executes the run.
+    pub engine: Engine,
+    /// Scheduling policy (gated engine; ignored by freerun).
+    pub policy: Policy,
+    /// Step budget (gated engine).
+    pub max_steps: u64,
+    /// Wall-clock watchdog (freerun engine).
+    pub timeout: Duration,
+    /// Operation budget (freerun engine).
+    pub max_ops: u64,
+    /// Per-agent scrambled port numberings.
+    pub scramble_ports: bool,
+    /// Record the grant schedule + per-primitive event log (gated).
+    pub record_trace: bool,
+    /// Faults to inject (empty plan = crash-free run).
+    pub faults: FaultPlan,
+    /// Replay a recorded schedule instead of consulting `policy`
+    /// (gated engine only; ignored by freerun, which has no schedule).
+    pub replay: Option<ReplaySpec>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::new(0)
+    }
+}
+
+impl RunConfig {
+    /// A gated-engine config with the given seed and all defaults.
+    pub fn new(seed: u64) -> RunConfig {
+        let g = gated::RunConfig::default();
+        let f = FreeRunConfig::default();
+        RunConfig {
+            seed,
+            engine: Engine::Gated,
+            policy: g.policy,
+            max_steps: g.max_steps,
+            timeout: f.timeout,
+            max_ops: f.max_ops,
+            scramble_ports: g.scramble_ports,
+            record_trace: false,
+            faults: FaultPlan::none(),
+            replay: None,
+        }
+    }
+
+    /// Select the engine.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Select the gated scheduling policy.
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the gated step budget.
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Set the freerun wall-clock watchdog.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Set the freerun operation budget.
+    pub fn max_ops(mut self, max_ops: u64) -> Self {
+        self.max_ops = max_ops;
+        self
+    }
+
+    /// Enable/disable per-agent port scrambling.
+    pub fn scramble_ports(mut self, on: bool) -> Self {
+        self.scramble_ports = on;
+        self
+    }
+
+    /// Enable/disable trace recording (gated).
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Replay a recorded grant schedule (gated).
+    pub fn replay(mut self, schedule: Vec<usize>, strict: bool) -> Self {
+        self.replay = Some(ReplaySpec { schedule, strict });
+        self
+    }
+
+    /// The gated-engine slice of this config.
+    pub fn to_gated(&self) -> gated::RunConfig {
+        gated::RunConfig {
+            seed: self.seed,
+            policy: self.policy,
+            max_steps: self.max_steps,
+            scramble_ports: self.scramble_ports,
+            record_trace: self.record_trace,
+        }
+    }
+
+    /// The freerun-engine slice of this config.
+    pub fn to_free(&self) -> FreeRunConfig {
+        FreeRunConfig {
+            seed: self.seed,
+            timeout: self.timeout,
+            max_ops: self.max_ops,
+            scramble_ports: self.scramble_ports,
+        }
+    }
+}
+
+/// Why a run could not produce a report. These are *runtime-integrity*
+/// failures (an agent program panicked, an engine channel died) —
+/// protocol-level interrupts (deadlock, step budget, crashes) are
+/// normal results, reported inside [`RunReport`].
+///
+/// On whiteboard "lock poisoning": the engines guard boards with
+/// `parking_lot` mutexes, which do not poison — a panic inside a board
+/// access releases the lock cleanly. The panic that *would* have
+/// poisoned a std mutex is caught at the agent-program boundary and
+/// surfaced here as [`RunError::AgentPanicked`] instead of unwinding
+/// through `expect` calls in the engine loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// An agent program panicked (assertion failure, invalid port, …).
+    /// The engine keeps the remaining agents coherent — the panicking
+    /// agent reports Finished so the scheduler never hangs — and
+    /// surfaces the payload here.
+    AgentPanicked {
+        /// The panicking agent's index.
+        agent: usize,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// An engine channel disconnected while the run was live (an agent
+    /// thread died without reporting — should be unreachable given the
+    /// panic guard, but typed rather than `expect`ed).
+    ChannelDisconnected {
+        /// Which handoff broke.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::AgentPanicked { agent, message } => {
+                write!(f, "agent {agent} panicked: {message}")
+            }
+            RunError::ChannelDisconnected { stage } => {
+                write!(f, "engine channel disconnected at {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// An agent protocol, written once over [`MobileCtx`] and runnable on
+/// either engine. The runner clones one instance per agent, so any
+/// per-run configuration lives in the implementing type's fields.
+pub trait Protocol {
+    /// Execute the protocol to a terminal outcome.
+    fn run<C: MobileCtx>(&self, ctx: &mut C) -> Result<AgentOutcome, Interrupt>;
+}
+
+/// The result of a [`run`]: the engine's report plus run-level context.
+#[derive(Debug, Clone)]
+pub struct ElectionRun {
+    /// Which engine produced the report.
+    pub engine: &'static str,
+    /// Fault activity (duplicated from `report.metrics.faults` for
+    /// direct access).
+    pub faults: FaultSummary,
+    /// The engine report (outcomes, leader, metrics, trace, …).
+    pub report: RunReport,
+}
+
+impl ElectionRun {
+    /// See [`RunReport::clean_election`].
+    pub fn clean_election(&self) -> bool {
+        self.report.clean_election()
+    }
+
+    /// See [`RunReport::unanimous_unsolvable`].
+    pub fn unanimous_unsolvable(&self) -> bool {
+        self.report.unanimous_unsolvable()
+    }
+}
+
+/// Run `protocol` on `bc` as described by `cfg`.
+///
+/// One protocol instance is cloned per agent (agent `i` starts at the
+/// `i`-th home-base, as always). Engine-specific knobs the selected
+/// engine does not have (e.g. `timeout` under gated, `policy` or
+/// `replay` under freerun) are ignored.
+pub fn run<P>(bc: &Bicolored, cfg: &RunConfig, protocol: &P) -> Result<ElectionRun, RunError>
+where
+    P: Protocol + Clone + Send + 'static,
+{
+    let report = match cfg.engine {
+        Engine::Gated => {
+            let agents: Vec<GatedAgent> = (0..bc.r())
+                .map(|_| -> GatedAgent {
+                    let p = protocol.clone();
+                    Box::new(move |ctx| p.run(ctx))
+                })
+                .collect();
+            match &cfg.replay {
+                Some(spec) => {
+                    let mut scheduler = if spec.strict {
+                        ReplayScheduler::strict(spec.schedule.clone())
+                    } else {
+                        ReplayScheduler::new(spec.schedule.clone())
+                    };
+                    gated::try_run_gated_with(
+                        bc,
+                        cfg.to_gated(),
+                        &cfg.faults,
+                        agents,
+                        &mut scheduler,
+                    )?
+                }
+                None => {
+                    let mut scheduler = cfg.policy.build(cfg.seed);
+                    gated::try_run_gated_with(
+                        bc,
+                        cfg.to_gated(),
+                        &cfg.faults,
+                        agents,
+                        scheduler.as_mut(),
+                    )?
+                }
+            }
+        }
+        Engine::Free => {
+            let agents: Vec<FreeAgent> = (0..bc.r())
+                .map(|_| -> FreeAgent {
+                    let p = protocol.clone();
+                    Box::new(move |ctx| p.run(ctx))
+                })
+                .collect();
+            try_run_free(bc, cfg.to_free(), &cfg.faults, agents)?
+        }
+    };
+    Ok(ElectionRun {
+        engine: cfg.engine.name(),
+        faults: report.metrics.faults,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sign::SignKind;
+    use qelect_graph::families;
+
+    fn instance(n: usize, hbs: &[usize]) -> Bicolored {
+        Bicolored::new(families::cycle(n).unwrap(), hbs).unwrap()
+    }
+
+    /// A protocol that reads its home board and claims leadership iff it
+    /// sees its own HomeBase sign (always true) — enough to exercise the
+    /// plumbing on both engines.
+    #[derive(Clone)]
+    struct ClaimHome;
+
+    impl Protocol for ClaimHome {
+        fn run<C: MobileCtx>(&self, ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+            let me = ctx.color();
+            let board = ctx.read_board()?;
+            Ok(
+                if board
+                    .iter()
+                    .any(|s| s.kind == SignKind::HomeBase && s.color == me)
+                {
+                    AgentOutcome::Leader
+                } else {
+                    AgentOutcome::Defeated
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn builder_defaults_mirror_engine_defaults() {
+        let cfg = RunConfig::new(9);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.engine, Engine::Gated);
+        let g = cfg.to_gated();
+        assert_eq!(g.max_steps, gated::RunConfig::default().max_steps);
+        assert!(!g.record_trace);
+        let f = cfg.to_free();
+        assert_eq!(f.max_ops, FreeRunConfig::default().max_ops);
+        assert_eq!(f.seed, 9);
+    }
+
+    #[test]
+    fn runs_on_both_engines() {
+        let bc = instance(5, &[1]);
+        for engine in [Engine::Gated, Engine::Free] {
+            let cfg = RunConfig::new(3).engine(engine);
+            let run = run(&bc, &cfg, &ClaimHome).unwrap();
+            assert_eq!(run.engine, engine.name());
+            assert_eq!(run.report.outcomes, vec![AgentOutcome::Leader]);
+            assert!(!run.faults.any());
+        }
+    }
+
+    #[test]
+    fn record_and_replay_through_the_front_door() {
+        let bc = instance(6, &[0, 3]);
+        let cfg = RunConfig::new(11).record_trace(true);
+        let first = run(&bc, &cfg, &ClaimHome).unwrap();
+        assert!(!first.report.trace.is_empty());
+        let replay_cfg = cfg.clone().replay(first.report.trace.clone(), true);
+        let second = run(&bc, &replay_cfg, &ClaimHome).unwrap();
+        assert_eq!(second.report.outcomes, first.report.outcomes);
+        assert_eq!(second.report.trace, first.report.trace);
+        assert_eq!(second.report.events, first.report.events);
+    }
+
+    /// A protocol that panics — the typed-error path.
+    #[derive(Clone)]
+    struct Panics;
+
+    impl Protocol for Panics {
+        fn run<C: MobileCtx>(&self, ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+            let _ = ctx.read_board()?;
+            panic!("deliberate test panic");
+        }
+    }
+
+    #[test]
+    fn agent_panic_is_a_typed_error_not_a_hang() {
+        let bc = instance(4, &[0, 2]);
+        let cfg = RunConfig::new(0);
+        match run(&bc, &cfg, &Panics) {
+            Err(RunError::AgentPanicked { message, .. }) => {
+                assert!(message.contains("deliberate test panic"), "{message}");
+            }
+            other => panic!("expected AgentPanicked, got {other:?}"),
+        }
+        // Freerun surfaces it too.
+        let cfg = cfg.engine(Engine::Free);
+        assert!(matches!(
+            run(&bc, &cfg, &Panics),
+            Err(RunError::AgentPanicked { .. })
+        ));
+    }
+}

@@ -145,9 +145,15 @@ impl Trace {
     }
 
     /// Serialize to the trace JSON dialect.
+    ///
+    /// Emits both the shared envelope `schema` tag
+    /// ([`json::envelope::TRACE`]) and the original `version` field, so
+    /// traces written by this build still parse under pre-envelope
+    /// readers.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 4 * self.schedule.len());
         out.push_str("{\n");
+        out.push_str(&json::envelope::header(json::envelope::TRACE));
         out.push_str("  \"version\": 1,\n");
         out.push_str(&format!("  \"label\": {},\n", json::escape(&self.label)));
         // Seeds use the full u64 range; JSON numbers only cover 2^53,
@@ -178,11 +184,15 @@ impl Trace {
     }
 
     /// Parse the trace JSON dialect.
+    ///
+    /// Accepts both the enveloped form (`"schema": "qelect-trace/1"`)
+    /// and the grandfathered legacy form (`"version": 1`, no schema).
     pub fn from_json(text: &str) -> Result<Trace, TraceError> {
         let value = json::parse(text).map_err(TraceError)?;
         let obj = value
             .as_object()
             .ok_or_else(|| bad("top level must be an object"))?;
+        json::envelope::check(obj, json::envelope::TRACE).map_err(TraceError)?;
         let label = get_str(obj, "label").unwrap_or_default();
         let seed = match json::get(obj, "seed") {
             Some(json::Value::Str(s)) => s
@@ -425,9 +435,24 @@ mod tests {
         assert!(Trace::from_json("{").is_err());
         assert!(Trace::from_json("[]").is_err());
         assert!(
-            Trace::from_json(r#"{"agents":2,"nodes":3}"#).is_err(),
+            Trace::from_json(r#"{"version":1,"agents":2,"nodes":3}"#).is_err(),
             "missing schedule"
         );
-        assert!(Trace::from_json(r#"{"agents":2,"nodes":3,"schedule":["x"]}"#).is_err());
+        assert!(
+            Trace::from_json(r#"{"version":1,"agents":2,"nodes":3,"schedule":["x"]}"#).is_err()
+        );
+    }
+
+    #[test]
+    fn envelope_schema_emitted_and_enforced() {
+        let t = sample();
+        assert!(t.to_json().contains("\"schema\": \"qelect-trace/1\""));
+        // Neither a schema tag nor the legacy version marker: rejected.
+        assert!(Trace::from_json(r#"{"agents":2,"nodes":3,"schedule":[0]}"#).is_err());
+        // A foreign schema is rejected even with a valid body.
+        assert!(Trace::from_json(
+            r#"{"schema":"qelect-sweep/1","agents":2,"nodes":3,"schedule":[0]}"#
+        )
+        .is_err());
     }
 }

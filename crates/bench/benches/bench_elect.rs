@@ -4,6 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qelect::prelude::*;
+// These benches time the gated-engine drivers directly, so they use
+// the gated engine's own config struct.
+use qelect_agentsim::gated::RunConfig;
 use qelect_graph::{families, Bicolored};
 
 fn bench_elect_cycles(c: &mut Criterion) {

@@ -5,6 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qelect::prelude::*;
+// The recording/replay/exploration drivers are gated-engine specific,
+// so these benches use the gated engine's own config struct.
+use qelect_agentsim::gated::RunConfig;
 use qelect_graph::{families, Bicolored};
 
 fn bench_recording_overhead(c: &mut Criterion) {

@@ -4,6 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qelect::prelude::*;
+// Policy ablation drives the gated engine directly, so this bench
+// uses the gated engine's own config struct.
+use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Bicolored};
 

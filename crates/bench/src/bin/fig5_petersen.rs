@@ -12,6 +12,8 @@
 
 use qelect::petersen::run_petersen;
 use qelect::prelude::*;
+// Policy rotation drives gated-only helpers; use the gated config.
+use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::sched::Policy;
 use qelect_bench::{header, row};
 use qelect_graph::surrounding::ordered_classes;

@@ -19,8 +19,8 @@ use qelect_agentsim::explore::shrink_schedule;
 use qelect_agentsim::gated::{run_gated_with, GatedAgent};
 use qelect_agentsim::AgentOutcome;
 use qelect_bench::cli::{
-    parse_command, AuditInvocation, Command, ExploreInvocation, ExploreTarget, Invocation,
-    Protocol, SweepInvocation,
+    parse_command, AuditInvocation, Command, ExploreInvocation, ExploreTarget, FaultsInvocation,
+    Invocation, Protocol, SweepInvocation,
 };
 use qelect_bench::report;
 use qelect_graph::Bicolored;
@@ -32,6 +32,7 @@ fn main() {
         Ok(Command::Explore(inv)) => explore(inv),
         Ok(Command::Sweep(inv)) => sweep(inv),
         Ok(Command::Audit(inv)) => audit(inv),
+        Ok(Command::Faults(inv)) => faults(inv),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -102,6 +103,45 @@ fn audit(inv: AuditInvocation) {
     }
 }
 
+fn faults(inv: FaultsInvocation) {
+    let engines: Vec<&str> = inv.config.engines.iter().map(|e| e.name()).collect();
+    println!(
+        "# Fault-injection crash sweep — {} instances × {} seeds × {} plans \
+         ({} crashes + {} delays each) × [{}]\n",
+        inv.config.instances.len(),
+        inv.config.seeds.len(),
+        inv.config.plans,
+        inv.config.crashes,
+        inv.config.delays,
+        engines.join(", "),
+    );
+    let report = match qelect_bench::faults::run_faults(&inv.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.render());
+    if let Some(path) = &inv.json {
+        write_file(path, &report.to_json());
+        println!("JSON report written to {path}");
+    }
+    let mut failed = false;
+    if !report.all_agree() {
+        eprintln!("error: a faulted run disagreed with the gcd oracle");
+        failed = true;
+    }
+    if !report.all_replays_identical() {
+        eprintln!("error: a gated replay did not reproduce its run exactly");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("oracle agreement and replay determinism: OK");
+}
+
 fn sweep(inv: SweepInvocation) {
     println!(
         "# Parallel random-instance sweep — ELECT vs gcd oracle \
@@ -147,23 +187,25 @@ fn run(inv: Invocation) {
         println!("{}", qelect_graph::dot::classes_to_dot(&bc));
         return;
     }
-    let cfg = RunConfig {
-        seed: inv.seed,
-        policy: inv.policy,
-        ..RunConfig::default()
-    };
+    let cfg = RunConfig::new(inv.seed).policy(inv.policy);
     let report = match inv.protocol {
-        Protocol::Elect => run_elect(&bc, cfg),
-        Protocol::Cayley => run_translation_elect(&bc, cfg),
+        Protocol::Elect => match run_election(&bc, &cfg) {
+            Ok(election) => election.report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        },
+        Protocol::Cayley => run_translation_elect(&bc, cfg.to_gated()),
         Protocol::Quantitative => {
             let ids: Vec<u64> = (0..bc.r() as u64).map(|i| 100 + i).collect();
             println!("labels: {ids:?}");
-            run_quantitative(&bc, cfg, &ids)
+            run_quantitative(&bc, cfg.to_gated(), &ids)
         }
-        Protocol::View => qelect::view_elect::run_view_elect(&bc, cfg),
-        Protocol::Gather => qelect::gathering::run_gather(&bc, cfg),
-        Protocol::Petersen => qelect::petersen::run_petersen(&bc, cfg),
-        Protocol::Anonymous => qelect::anonymous::run_ring_probe(&bc, cfg),
+        Protocol::View => qelect::view_elect::run_view_elect(&bc, cfg.to_gated()),
+        Protocol::Gather => qelect::gathering::run_gather(&bc, cfg.to_gated()),
+        Protocol::Petersen => qelect::petersen::run_petersen(&bc, cfg.to_gated()),
+        Protocol::Anonymous => qelect::anonymous::run_ring_probe(&bc, cfg.to_gated()),
     };
     for (i, outcome) in report.outcomes.iter().enumerate() {
         println!("agent {i} ({}): {outcome:?}", report.colors[i]);
@@ -237,11 +279,7 @@ fn explore(inv: ExploreInvocation) {
         "bound: {} preemptions, budget {} schedules (+{} swarm)",
         inv.preemption_bound, inv.max_schedules, inv.swarm_runs
     );
-    let run_cfg = RunConfig {
-        seed: inv.seed,
-        record_trace: true,
-        ..RunConfig::default()
-    };
+    let run_cfg = RunConfig::new(inv.seed).record_trace(true).to_gated();
     let ecfg = ExploreConfig {
         preemption_bound: inv.preemption_bound,
         max_schedules: inv.max_schedules,
@@ -259,7 +297,7 @@ fn explore(inv: ExploreInvocation) {
 /// shrunk witness.
 fn explore_elect_target(
     bc: &Bicolored,
-    run_cfg: RunConfig,
+    run_cfg: qelect_agentsim::gated::RunConfig,
     ecfg: &ExploreConfig,
     inv: &ExploreInvocation,
 ) {
@@ -315,7 +353,7 @@ fn explore_elect_target(
 /// as a committed artifact.
 fn explore_anon_target(
     bc: &Bicolored,
-    run_cfg: RunConfig,
+    run_cfg: qelect_agentsim::gated::RunConfig,
     ecfg: &ExploreConfig,
     inv: &ExploreInvocation,
 ) {

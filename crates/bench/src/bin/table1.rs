@@ -14,6 +14,8 @@
 use qelect::anonymous::run_ring_probe;
 use qelect::prelude::*;
 use qelect::solvability::{elect_succeeds, election_possible_cayley, impossible_by_thm21};
+// Every cell is driven through gated-only helpers; use the gated config.
+use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::sched::Policy;
 use qelect_agentsim::AgentOutcome;
 use qelect_bench::{header, row, standard_suite};

@@ -6,6 +6,8 @@
 //! checkpoints) is printed for one instance.
 
 use qelect::prelude::*;
+// The cost tables drive gated-only helpers; use the gated config.
+use qelect_agentsim::gated::RunConfig;
 use qelect_bench::{header, row, scaling_suite};
 use qelect_graph::{families, Bicolored};
 

@@ -64,6 +64,21 @@
 //!            --tolerance F         fractional regression tolerance (default 0.25)
 //!            --write-baseline      write the baseline instead of checking it
 //! ```
+//!
+//! The `faults` subcommand runs the deterministic fault-injection crash
+//! sweep (generated crash/delay plans in the eventually-restarting
+//! regime, gated on the gcd oracle and on identical gated replays):
+//!
+//! ```text
+//! qelectctl faults <spec[@a0,a1,…]> [more specs…] [options]
+//!
+//! options:   --seeds 0,1           run seeds (default 0,1)
+//!            --plans N             generated plans per seed (default 3)
+//!            --crashes N           crash events per plan (default 2)
+//!            --delays N            delay events per plan (default 1)
+//!            --engine E            gated | free | both (default both)
+//!            --json PATH           write the schema-versioned JSON report
+//! ```
 
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Graph};
@@ -164,8 +179,17 @@ pub struct AuditInvocation {
     pub write_baseline: bool,
 }
 
-/// A single-schedule run, a schedule exploration, a batch sweep, or a
-/// phase-resolved audit.
+/// A fully parsed `faults` invocation.
+#[derive(Debug)]
+pub struct FaultsInvocation {
+    /// The crash-sweep configuration (instances, seeds, plans, engines).
+    pub config: crate::faults::FaultsConfig,
+    /// Where to write the schema-versioned JSON report, if anywhere.
+    pub json: Option<String>,
+}
+
+/// A single-schedule run, a schedule exploration, a batch sweep, a
+/// phase-resolved audit, or a fault-injection crash sweep.
 #[derive(Debug)]
 pub enum Command {
     /// `qelectctl <protocol> <family> …`
@@ -176,6 +200,8 @@ pub enum Command {
     Sweep(SweepInvocation),
     /// `qelectctl audit …`
     Audit(AuditInvocation),
+    /// `qelectctl faults …`
+    Faults(FaultsInvocation),
 }
 
 /// Parse errors, with a user-facing message.
@@ -612,13 +638,98 @@ pub fn parse_audit(args: &[String]) -> Result<AuditInvocation, ParseError> {
     })
 }
 
+/// Parse a `faults` argv (without the binary name and the `faults`
+/// token itself).
+pub fn parse_faults(args: &[String]) -> Result<FaultsInvocation, ParseError> {
+    if args.is_empty() {
+        return err("usage: qelectctl faults <spec[@a0,a1,…]>… [--seeds 0,1] \
+             [--plans N] [--crashes N] [--delays N] [--engine gated|free|both] \
+             [--json PATH]");
+    }
+    let mut config = crate::faults::FaultsConfig::default();
+    let mut inv_json = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seeds" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--seeds needs a list".into()))?;
+                let parsed: Result<Vec<usize>, _> =
+                    v.split(',').map(|s| parse_usize(s, "seed")).collect();
+                config.seeds = parsed?.into_iter().map(|s| s as u64).collect();
+            }
+            "--plans" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--plans needs a value".into()))?;
+                config.plans = parse_usize(v, "plan count")?;
+                if config.plans == 0 {
+                    return err("--plans must be at least 1");
+                }
+            }
+            "--crashes" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--crashes needs a value".into()))?;
+                config.crashes = parse_usize(v, "crash count")?;
+            }
+            "--delays" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--delays needs a value".into()))?;
+                config.delays = parse_usize(v, "delay count")?;
+            }
+            "--engine" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--engine needs a value".into()))?;
+                config.engines = match v.as_str() {
+                    "gated" => vec![crate::report::AuditEngine::Gated],
+                    "free" => vec![crate::report::AuditEngine::Free],
+                    "both" => vec![
+                        crate::report::AuditEngine::Gated,
+                        crate::report::AuditEngine::Free,
+                    ],
+                    other => return err(format!("unknown engine '{other}'")),
+                };
+            }
+            "--json" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--json needs a path".into()))?;
+                inv_json = Some(v.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return err(format!("unknown faults option '{flag}'"));
+            }
+            spec => config.instances.push(parse_audit_instance(spec)?),
+        }
+        i += 1;
+    }
+    if config.instances.is_empty() {
+        return err("faults sweep needs at least one instance spec");
+    }
+    Ok(FaultsInvocation {
+        config,
+        json: inv_json,
+    })
+}
+
 /// Parse a full argv (without the binary name), dispatching between the
-/// single-run, `explore`, `sweep` and `audit` forms.
+/// single-run, `explore`, `sweep`, `audit` and `faults` forms.
 pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
     match args.first().map(String::as_str) {
         Some("explore") => parse_explore(&args[1..]).map(Command::Explore),
         Some("sweep") => parse_sweep(&args[1..]).map(Command::Sweep),
         Some("audit") => parse_audit(&args[1..]).map(Command::Audit),
+        Some("faults") => parse_faults(&args[1..]).map(Command::Faults),
         _ => parse_args(args).map(Command::Run),
     }
 }
@@ -832,6 +943,53 @@ mod tests {
         assert!(parse_command(&argv("audit cycle:6 --tolerance x")).is_err());
         assert!(parse_command(&argv("audit cycle:6 --frobnicate")).is_err());
         assert!(parse_command(&argv("audit --seeds 1")).is_err());
+    }
+
+    #[test]
+    fn parses_faults_defaults() {
+        let cmd = parse_command(&argv("faults cycle:6@0,2,3 petersen@0,1")).unwrap();
+        let Command::Faults(inv) = cmd else {
+            panic!("expected faults")
+        };
+        assert_eq!(inv.config.instances.len(), 2);
+        assert_eq!(inv.config.instances[0].key(), "cycle:6@0,2,3");
+        assert_eq!(inv.config.instances[1].agents, vec![0, 1]);
+        assert_eq!(inv.config.seeds, vec![0, 1]);
+        assert_eq!(inv.config.plans, 3);
+        assert_eq!(inv.config.crashes, 2);
+        assert_eq!(inv.config.delays, 1);
+        assert_eq!(inv.config.engines.len(), 2);
+        assert!(inv.json.is_none());
+    }
+
+    #[test]
+    fn parses_faults_full_options() {
+        let cmd = parse_command(&argv(
+            "faults cycle:6@0,3 --seeds 4,5 --plans 2 --crashes 3 --delays 0 \
+             --engine gated --json f.json",
+        ))
+        .unwrap();
+        let Command::Faults(inv) = cmd else {
+            panic!("expected faults")
+        };
+        assert_eq!(inv.config.seeds, vec![4, 5]);
+        assert_eq!(inv.config.plans, 2);
+        assert_eq!(inv.config.crashes, 3);
+        assert_eq!(inv.config.delays, 0);
+        assert_eq!(inv.config.engines, vec![crate::report::AuditEngine::Gated]);
+        assert_eq!(inv.json.as_deref(), Some("f.json"));
+    }
+
+    #[test]
+    fn faults_rejects_nonsense() {
+        assert!(parse_command(&argv("faults")).is_err());
+        assert!(parse_command(&argv("faults nosuch:5")).is_err());
+        assert!(parse_command(&argv("faults cycle:6@x")).is_err());
+        assert!(parse_command(&argv("faults cycle:6 --engine warp")).is_err());
+        assert!(parse_command(&argv("faults cycle:6 --plans 0")).is_err());
+        assert!(parse_command(&argv("faults cycle:6 --crashes x")).is_err());
+        assert!(parse_command(&argv("faults cycle:6 --frobnicate")).is_err());
+        assert!(parse_command(&argv("faults --seeds 1")).is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! * `qelectctl` — run any protocol on any family from the command line
 //!   (parsing in [`cli`]); its `audit` subcommand emits the
 //!   phase-resolved JSON reports of [`report`] and gates CI on the
-//!   fitted Theorem 3.1 constant.
+//!   fitted Theorem 3.1 constant, and its `faults` subcommand runs the
+//!   crash sweeps of [`faults`] and gates on the gcd oracle.
 //!
 //! The criterion benches (`benches/`) measure the same pipelines for
 //! performance tracking.
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod faults;
 pub mod report;
 pub mod sweep;
 

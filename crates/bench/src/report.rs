@@ -19,7 +19,6 @@
 //! [`PhaseSpan`]: qelect_agentsim::PhaseSpan
 
 use qelect::prelude::*;
-use qelect_agentsim::freerun::{run_free, FreeAgent, FreeRunConfig};
 use qelect_agentsim::json;
 use qelect_agentsim::Metrics;
 use qelect_graph::cache::CacheStats;
@@ -27,11 +26,13 @@ use qelect_graph::{Bicolored, Graph};
 
 use crate::{header, row};
 
-/// Schema tag embedded in every audit JSON document.
-pub const AUDIT_SCHEMA: &str = "qelect-audit/1";
+/// Schema tag embedded in every audit JSON document (the shared
+/// envelope declaration, [`json::envelope::AUDIT`]).
+pub const AUDIT_SCHEMA: &str = json::envelope::AUDIT;
 
-/// Schema tag embedded in the sweep JSON export.
-pub const SWEEP_SCHEMA: &str = "qelect-sweep/1";
+/// Schema tag embedded in the sweep JSON export
+/// ([`json::envelope::SWEEP`]).
+pub const SWEEP_SCHEMA: &str = json::envelope::SWEEP;
 
 /// Default fractional tolerance of the baseline gate: the audit fails
 /// when a family's fitted constant exceeds the committed one by more
@@ -216,26 +217,14 @@ pub struct AuditReport {
     pub engines: Vec<AuditEngine>,
 }
 
-fn run_one(bc: &Bicolored, seed: u64, engine: AuditEngine) -> Metrics {
-    match engine {
-        AuditEngine::Gated => {
-            let cfg = RunConfig {
-                seed,
-                ..RunConfig::default()
-            };
-            run_elect(bc, cfg).metrics
-        }
-        AuditEngine::Free => {
-            let agents: Vec<FreeAgent> = (0..bc.r())
-                .map(|_| -> FreeAgent { Box::new(qelect::elect::elect) })
-                .collect();
-            let cfg = FreeRunConfig {
-                seed,
-                ..FreeRunConfig::default()
-            };
-            run_free(bc, cfg, agents).metrics
-        }
-    }
+fn run_one(bc: &Bicolored, seed: u64, engine: AuditEngine) -> Result<Metrics, String> {
+    let engine = match engine {
+        AuditEngine::Gated => Engine::Gated,
+        AuditEngine::Free => Engine::Free,
+    };
+    let election = run_election(bc, &RunConfig::new(seed).engine(engine))
+        .map_err(|e| format!("{} run failed: {e}", engine.name()))?;
+    Ok(election.report.metrics)
 }
 
 /// Run the audit: every instance × seed × engine, folded per instance.
@@ -260,7 +249,7 @@ pub fn run_audit(cfg: &AuditConfig) -> Result<AuditReport, String> {
         let mut trials = 0usize;
         for &seed in &cfg.seeds {
             for &engine in &cfg.engines {
-                let metrics = run_one(&bc, seed, engine);
+                let metrics = run_one(&bc, seed, engine)?;
                 trials += 1;
                 total.0 += metrics.total_moves();
                 total.1 += metrics.total_accesses();
@@ -383,7 +372,7 @@ impl AuditReport {
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        s.push_str(&format!("  \"schema\": {},\n", json::escape(AUDIT_SCHEMA)));
+        s.push_str(&json::envelope::header(AUDIT_SCHEMA));
         let seeds: Vec<String> = self.seeds.iter().map(|v| v.to_string()).collect();
         s.push_str(&format!("  \"seeds\": [{}],\n", seeds.join(",")));
         let engines: Vec<String> = self
@@ -469,16 +458,9 @@ pub fn check_against_baseline(
     baseline_json: &str,
     tolerance: f64,
 ) -> Result<Vec<String>, String> {
-    let doc = json::parse(baseline_json).map_err(|e| format!("baseline: {e}"))?;
-    let obj = doc.as_object().ok_or("baseline: not a JSON object")?;
-    let schema = json::get(obj, "schema").and_then(|v| v.as_str());
-    if schema != Some(AUDIT_SCHEMA) {
-        return Err(format!(
-            "baseline: schema {:?} (expected {AUDIT_SCHEMA:?})",
-            schema.unwrap_or("<missing>")
-        ));
-    }
-    let families = json::get(obj, "families")
+    let obj = json::envelope::check_document(baseline_json, AUDIT_SCHEMA)
+        .map_err(|e| format!("baseline: {e}"))?;
+    let families = json::get(&obj, "families")
         .and_then(|v| v.as_array())
         .ok_or("baseline: missing 'families' array")?;
     let mut base: Vec<(String, f64)> = Vec::new();
@@ -523,7 +505,7 @@ pub fn check_against_baseline(
 pub fn sweep_to_json(report: &crate::sweep::SweepReport) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str(&format!("  \"schema\": {},\n", json::escape(SWEEP_SCHEMA)));
+    s.push_str(&json::envelope::header(SWEEP_SCHEMA));
     s.push_str(&format!(
         "  \"total_valid\": {}, \"total_agree\": {}, \"workers\": {},\n",
         report.total_valid, report.total_agree, report.workers

@@ -237,12 +237,11 @@ pub fn run_trial(cfg: &SweepConfig, bi: usize, t: usize) -> TrialOutcome {
     let mut agree = true;
     let mut ratio_sum = 0.0f64;
     for rep in 0..cfg.repeats.max(1) {
-        let run_cfg = RunConfig {
-            seed: seed ^ ((rep as u64) << 32),
-            policy: SWEEP_POLICIES[(t + rep) % SWEEP_POLICIES.len()],
-            ..RunConfig::default()
-        };
-        let report = run_elect(&bc, run_cfg);
+        let run_cfg = RunConfig::new(seed ^ ((rep as u64) << 32))
+            .policy(SWEEP_POLICIES[(t + rep) % SWEEP_POLICIES.len()]);
+        let report = run_election(&bc, &run_cfg)
+            .expect("crash-free gated runs cannot fail")
+            .report;
         let got = if report.clean_election() {
             Some(true)
         } else if report.unanimous_unsolvable() {

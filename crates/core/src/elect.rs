@@ -36,6 +36,16 @@ use qelect_graph::Bicolored;
 /// The `Custom` sign kind used for phase activation.
 pub const ACTIVATE: SignKind = SignKind::Custom(3);
 
+/// The `Custom` sign kind used for the crash-recovery checkpoint
+/// journal: after completing a reduction phase, an agent (only when
+/// crash faults are armed — see [`MobileCtx::crash_faults_armed`])
+/// posts a `CKPT` sign at its home-base whose payload word is the
+/// number of reduction phases it has completed. A restarted incarnation
+/// reads its own highest journal entry to know how much of its re-run
+/// is *redundant* recovery work, which the `"recovery"` phase span
+/// attributes separately in the metrics breakdown.
+pub const CKPT: SignKind = SignKind::Custom(4);
+
 /// Everything an agent derives locally right after MAP-DRAWING.
 pub struct LocalView {
     /// The completed map.
@@ -141,9 +151,14 @@ pub struct ElectFault {
 }
 
 /// Protocol ELECT, as run by one agent. Generic over the runtime engine.
+///
+/// Crash-recoverable: when crash faults are armed and this invocation is
+/// a restarted incarnation, everything from the fresh MAP-DRAWING up to
+/// the last journaled checkpoint (see [`CKPT`]) runs inside a
+/// `"recovery"` phase span, so redundant re-execution is attributed
+/// separately per phase in the metrics breakdown.
 pub fn elect<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
-    let view = compute_local_view(ctx)?;
-    elect_from_view(ctx, view)
+    elect_with_fault(ctx, ElectFault::default())
 }
 
 /// [`elect`] with an injected fault (test-only; see [`ElectFault`]).
@@ -151,8 +166,27 @@ pub fn elect_with_fault<C: MobileCtx>(
     ctx: &mut C,
     fault: ElectFault,
 ) -> Result<AgentOutcome, Interrupt> {
+    // A restarted incarnation redoes MAP-DRAWING and COMPUTE & ORDER
+    // from scratch (its map was volatile); that redundant work belongs
+    // to the recovery span, which elect_from_view_with closes once the
+    // re-run is past the journaled progress.
+    recovery_span_open(ctx);
     let view = compute_local_view(ctx)?;
     elect_from_view_with(ctx, view, fault)
+}
+
+/// Open the `"recovery"` span when this invocation is a restarted
+/// incarnation under armed crash faults. Every entry point that later
+/// reaches [`elect_from_view_with`] (which closes the span by the same
+/// predicate) must call this before [`compute_local_view`], so the
+/// redone MAP-DRAWING is attributed to recovery.
+pub(crate) fn recovery_span_open<C: MobileCtx>(ctx: &mut C) -> bool {
+    if ctx.crash_faults_armed() && ctx.incarnation() > 0 {
+        ctx.span_open("recovery");
+        true
+    } else {
+        false
+    }
 }
 
 /// ELECT after the local view is computed (shared with the Cayley
@@ -172,6 +206,38 @@ pub fn elect_from_view_with<C: MobileCtx>(
 ) -> Result<AgentOutcome, Interrupt> {
     let map = view.map.clone();
     let mut cr = Courier::new(ctx, map);
+
+    // Crash-recovery bookkeeping (no-ops unless crash faults are armed;
+    // see `CKPT`). `completed` counts reduction phases this agent has
+    // participated in; the journal persists it on the home whiteboard so
+    // a restarted incarnation can tell redundant re-execution (attributed
+    // to the `"recovery"` span its entry point opened) from fresh
+    // progress.
+    let armed = cr.ctx.crash_faults_armed();
+    let mut in_recovery = armed && cr.ctx.incarnation() > 0;
+    let resume_from: u64 = if in_recovery {
+        let me = cr.me();
+        let signs = cr.ctx.read_board()?;
+        signs
+            .iter()
+            .filter(|s| s.kind == CKPT && s.color == me)
+            .filter_map(|s| s.word())
+            .max()
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    let mut completed: u64 = 0;
+    let close_recovery_when_caught_up =
+        |cr: &mut Courier<'_, C>, in_recovery: &mut bool, completed: u64| {
+            if *in_recovery && completed >= resume_from {
+                cr.ctx.span_close("recovery");
+                *in_recovery = false;
+            }
+        };
+    // Crashed before completing any phase: the redone MAP-DRAWING was
+    // the whole recovery.
+    close_recovery_when_caught_up(&mut cr, &mut in_recovery, completed);
 
     // Current active set, tracked only while this agent is active.
     // C_1 members start active; everyone else waits for activation (or
@@ -236,6 +302,11 @@ pub fn elect_from_view_with<C: MobileCtx>(
                     ReduceExit::Passive => return final_wait(&mut cr),
                 }
                 cr.ctx.checkpoint(&format!("phase {} done", phase.number));
+                completed += 1;
+                if armed {
+                    cr.post(CKPT, vec![completed])?;
+                }
+                close_recovery_when_caught_up(&mut cr, &mut in_recovery, completed);
             }
             PhaseKind::AgentNode { rounds } => {
                 let d_set = match &active {
@@ -251,6 +322,11 @@ pub fn elect_from_view_with<C: MobileCtx>(
                     ReduceExit::Passive => return final_wait(&mut cr),
                 }
                 cr.ctx.checkpoint(&format!("phase {} done", phase.number));
+                completed += 1;
+                if armed {
+                    cr.post(CKPT, vec![completed])?;
+                }
+                close_recovery_when_caught_up(&mut cr, &mut in_recovery, completed);
             }
         }
     }
@@ -276,8 +352,38 @@ pub fn elect_from_view_with<C: MobileCtx>(
     }
 }
 
+/// Protocol ELECT as a [`Protocol`](qelect_agentsim::Protocol) for the
+/// unified engine front door ([`qelect_agentsim::run()`]): one value
+/// selects the protocol, the [`RunConfig`](qelect_agentsim::RunConfig)
+/// builder selects engine, scheduler, faults and replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElectProtocol {
+    /// Test-only injected protocol fault (see [`ElectFault`]).
+    pub fault: ElectFault,
+}
+
+impl qelect_agentsim::Protocol for ElectProtocol {
+    fn run<C: MobileCtx>(&self, ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+        elect_with_fault(ctx, self.fault)
+    }
+}
+
+/// Run ELECT through the unified engine API: engine choice, scheduler
+/// policy, fault plan and replay schedule all come from the one
+/// [`RunConfig`](qelect_agentsim::RunConfig) builder.
+pub fn run_election(
+    bc: &Bicolored,
+    cfg: &qelect_agentsim::RunConfig,
+) -> Result<qelect_agentsim::ElectionRun, qelect_agentsim::RunError> {
+    qelect_agentsim::run(bc, cfg, &ElectProtocol::default())
+}
+
 /// Run ELECT on an instance with the gated engine (one agent per
 /// home-base).
+///
+/// Thin legacy shim over the gated engine, kept for the tests and tools
+/// that predate [`run_election`]; new callers should prefer the unified
+/// entry point, which also surfaces engine failures as typed errors.
 pub fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(elect) })

@@ -25,6 +25,7 @@ pub const GATHERED: SignKind = SignKind::Custom(31);
 /// return), or `Unsolvable` when election — and hence deterministic
 /// gathering — is impossible for the instance.
 pub fn gather<C: MobileCtx>(ctx: &mut C) -> Result<AgentOutcome, Interrupt> {
+    crate::elect::recovery_span_open(ctx);
     let view = compute_local_view(ctx)?;
     let map = view.map.clone();
     let r = map.r();

@@ -43,8 +43,8 @@
 //! // Five agents on a 9-cycle — classes have gcd 1, so ELECT elects.
 //! let g = qelect_graph::families::cycle(9).unwrap();
 //! let bc = qelect_graph::Bicolored::new(g, &[0, 1, 2, 3, 4]).unwrap();
-//! let report = run_elect(&bc, RunConfig::default());
-//! assert!(report.clean_election());
+//! let election = run_election(&bc, &RunConfig::new(0)).unwrap();
+//! assert!(election.clean_election());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -66,15 +66,26 @@ pub mod translation_elect;
 pub mod view_elect;
 
 /// Convenient re-exports for downstream users.
+///
+/// `RunConfig` here is the unified engine-agnostic builder
+/// ([`qelect_agentsim::RunConfig`]); the gated engine's legacy config
+/// remains available as [`qelect_agentsim::gated::RunConfig`] (or via
+/// [`qelect_agentsim::RunConfig::to_gated`]).
 pub mod prelude {
-    pub use crate::elect::{elect, run_elect};
+    pub use crate::elect::{elect, run_elect, run_election, ElectProtocol};
     pub use crate::quantitative::{quantitative_elect, run_quantitative};
-    pub use crate::replay::{explore_elect, replay_elect, run_elect_recorded};
+    pub use crate::replay::{
+        explore_elect, faulty_run_matches_oracle, replay_elect, run_elect_recorded,
+        run_elect_with_plan,
+    };
     pub use crate::solvability::{election_possible_cayley, gcd_of_class_sizes};
     pub use crate::translation_elect::{run_translation_elect, translation_elect};
     pub use qelect_agentsim::explore::{ExploreConfig, ExploreReport};
     pub use qelect_agentsim::trace::Trace;
-    pub use qelect_agentsim::{AgentOutcome, MobileCtx, RunConfig, RunReport};
+    pub use qelect_agentsim::{
+        AgentOutcome, ElectionRun, Engine, FaultPlan, MobileCtx, Protocol, RunConfig, RunError,
+        RunReport,
+    };
 }
 
 pub use map::AgentMap;

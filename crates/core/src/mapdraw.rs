@@ -35,14 +35,43 @@ pub fn map_drawing<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
     map
 }
 
+/// `Visited` payload for the agent's private node number in a given
+/// incarnation epoch: epoch 0 keeps the original one-word form, later
+/// epochs append the epoch so a restarted agent's fresh DFS never
+/// confuses its own stale pre-crash marks for current ones.
+fn visited_payload(node: u64, epoch: u64) -> Vec<u64> {
+    if epoch == 0 {
+        vec![node]
+    } else {
+        vec![node, epoch]
+    }
+}
+
+/// The epoch a `Visited` payload was written in (see [`visited_payload`]).
+fn payload_epoch(payload: &[u64]) -> u64 {
+    if payload.len() >= 2 {
+        payload[1]
+    } else {
+        0
+    }
+}
+
 fn map_drawing_inner<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
     let me = ctx.color();
+    // After a crash-restart the private node numbers in pre-crash marks
+    // are meaningless (the map they indexed was volatile), so each
+    // incarnation marks in its own epoch and reads back only that epoch.
+    let epoch = ctx.incarnation();
     let mut map = AgentMap::new();
     let root = map.add_node(ctx.degree());
 
     // Mark the root and record the resident (our own home-base sign).
-    let hb_colors = ctx.with_board(|wb| {
-        wb.post(Sign::with_payload(me, SignKind::Visited, vec![root as u64]));
+    let hb_colors = ctx.with_board(move |wb| {
+        wb.post(Sign::with_payload(
+            me,
+            SignKind::Visited,
+            visited_payload(root as u64, epoch),
+        ));
         wb.all_of_kind(SignKind::HomeBase)
             .map(|s| s.color)
             .collect::<Vec<_>>()
@@ -63,14 +92,22 @@ fn map_drawing_inner<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
             let degree = ctx.degree();
             let candidate = map.n() as u64;
             // Atomically: am I new here? If so claim the candidate id.
-            let (known, hb_colors) = ctx.with_board(|wb| {
+            let (known, hb_colors) = ctx.with_board(move |wb| {
                 let known = wb
                     .signs()
                     .iter()
-                    .find(|s| s.kind == SignKind::Visited && s.color == me)
+                    .find(|s| {
+                        s.kind == SignKind::Visited
+                            && s.color == me
+                            && payload_epoch(&s.payload) == epoch
+                    })
                     .and_then(|s| s.word());
                 if known.is_none() {
-                    wb.post(Sign::with_payload(me, SignKind::Visited, vec![candidate]));
+                    wb.post(Sign::with_payload(
+                        me,
+                        SignKind::Visited,
+                        visited_payload(candidate, epoch),
+                    ));
                 }
                 let hb: Vec<_> = wb
                     .all_of_kind(SignKind::HomeBase)

@@ -289,6 +289,17 @@ fn agent_reduce_inner<C: MobileCtx>(
                             SignKind::VisitDone,
                             vec![phase, t64],
                         ));
+                        // Crash recovery: a restarted incarnation must
+                        // recognize its own pre-crash match instead of
+                        // matching a second waiting agent. Matches only
+                        // accumulate, so the first unmatched home this
+                        // sweep reaches is the one the pre-crash sweep
+                        // committed to.
+                        if wb.signs().iter().any(|x| {
+                            x.kind == SignKind::Match && x.payload == [phase, t64] && x.color == me
+                        }) {
+                            return true;
+                        }
                         let already_matched = wb
                             .signs()
                             .iter()
@@ -454,7 +465,11 @@ fn node_reduce_inner<C: MobileCtx>(
                             colors.push(s.color);
                         }
                     }
-                    if colors.len() < q {
+                    // Crash recovery: my pre-crash acquisition stands —
+                    // don't post a duplicate, just honor it.
+                    if colors.contains(&me) {
+                        (true, colors)
+                    } else if colors.len() < q {
                         wb.post(Sign::with_payload(me, SignKind::Acquired, vec![phase, t64]));
                         (true, colors)
                     } else {
@@ -489,18 +504,31 @@ fn node_reduce_inner<C: MobileCtx>(
             // Selection unchanged.
         } else {
             // Case 2: each agent acquires q nodes; acquired nodes leave
-            // the selection.
+            // the selection. Acquisitions are tracked by node (not a bare
+            // counter) so a restarted incarnation counts its own
+            // pre-crash `Acquired` signs exactly once each, and a fresh
+            // run's repeat sweeps never double-count a node.
             let q = round.q;
-            let mut mine = 0usize;
-            while mine < q {
+            let mut mine_nodes: Vec<usize> = Vec::new();
+            while mine_nodes.len() < q {
                 let mut progressed = false;
                 for &node in &selected {
-                    if mine >= q {
+                    if mine_nodes.len() >= q {
                         break;
+                    }
+                    if mine_nodes.contains(&node) {
+                        continue;
                     }
                     cr.goto(node)?;
                     let me = cr.me();
                     let took = cr.ctx.with_board(move |wb| {
+                        if wb.signs().iter().any(|s| {
+                            s.kind == SignKind::Acquired
+                                && s.payload == [phase, t64]
+                                && s.color == me
+                        }) {
+                            return true; // my pre-crash acquisition
+                        }
                         let taken = wb
                             .signs()
                             .iter()
@@ -513,11 +541,11 @@ fn node_reduce_inner<C: MobileCtx>(
                         }
                     })?;
                     if took {
-                        mine += 1;
+                        mine_nodes.push(node);
                         progressed = true;
                     }
                 }
-                if mine < q && !progressed {
+                if mine_nodes.len() < q && !progressed {
                     // All currently free nodes were contended away this
                     // sweep; capacity math (q·α < β) guarantees free
                     // nodes exist once other agents cap out, so sweep

@@ -20,13 +20,17 @@
 //!   shrinks violations.
 
 use crate::anonymous::ring_probe;
-use crate::elect::{elect_agents, ElectFault};
+use crate::elect::{elect_agents, run_election, ElectFault};
 use crate::solvability::elect_succeeds;
 use crate::translation_elect::translation_elect;
 use qelect_agentsim::explore::{explore_schedules, ExploreConfig, ExploreReport};
-use qelect_agentsim::gated::{run_gated, run_gated_with, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::fault::{shrink_plan, FaultPlan};
+use qelect_agentsim::gated::{
+    run_gated, run_gated_with, try_run_gated_with, GatedAgent, RunConfig, RunReport,
+};
 use qelect_agentsim::sched::ReplayScheduler;
 use qelect_agentsim::trace::Trace;
+use qelect_agentsim::{ElectionRun, Engine, RunError};
 use qelect_graph::Bicolored;
 
 /// Run ELECT with trace recording on and package the result.
@@ -172,6 +176,94 @@ pub fn explore_elect_with_fault(
         |scheduler| run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), scheduler),
         elect_oracle_property(bc),
     )
+}
+
+/// Run ELECT under a [`FaultPlan`] through the unified front door, on
+/// either engine.
+pub fn run_elect_with_plan(
+    bc: &Bicolored,
+    seed: u64,
+    engine: Engine,
+    plan: &FaultPlan,
+) -> Result<ElectionRun, RunError> {
+    let cfg = qelect_agentsim::RunConfig::new(seed)
+        .engine(engine)
+        .faults(plan.clone());
+    run_election(bc, &cfg)
+}
+
+/// The Theorem 3.1 oracle property for fault-injected runs: as long as
+/// every crashed agent eventually restarts (which generated plans
+/// guarantee — see [`FaultPlan::generate`]), crash-recovering ELECT
+/// must reach the same verdict as the fault-free protocol: a clean
+/// election exactly when `gcd(|C_1|, …, |C_k|) = 1`.
+pub fn faulty_run_matches_oracle(bc: &Bicolored, run: &ElectionRun) -> Result<(), String> {
+    elect_oracle_property(bc)(&run.report)
+}
+
+/// Record a gated ELECT run under `plan`, then strictly replay the
+/// recorded schedule with the identical plan. The pair must agree
+/// byte-for-byte (outcomes, trace, events, per-agent metrics, fault
+/// counters) — the determinism contract of schedule-addressed faults.
+pub fn record_replay_elect_with_plan(
+    bc: &Bicolored,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<(ElectionRun, ElectionRun), RunError> {
+    let cfg = qelect_agentsim::RunConfig::new(seed)
+        .engine(Engine::Gated)
+        .record_trace(true)
+        .faults(plan.clone());
+    let first = run_election(bc, &cfg)?;
+    let replay_cfg = cfg.replay(first.report.trace.clone(), true);
+    let second = run_election(bc, &replay_cfg)?;
+    Ok((first, second))
+}
+
+/// Systematically explore gated schedules under a fixed [`FaultPlan`],
+/// checking [`elect_oracle_property`] — fault schedules join ordinary
+/// schedules as first-class explorable adversaries.
+pub fn explore_elect_with_plan(
+    bc: &Bicolored,
+    run_cfg: RunConfig,
+    explore_cfg: &ExploreConfig,
+    plan: &FaultPlan,
+) -> ExploreReport {
+    let run_cfg = RunConfig {
+        record_trace: true,
+        ..run_cfg
+    };
+    explore_schedules(
+        explore_cfg,
+        |scheduler| match try_run_gated_with(
+            bc,
+            run_cfg,
+            plan,
+            elect_agents(bc.r(), ElectFault::default()),
+            scheduler,
+        ) {
+            Ok(r) => r,
+            Err(e) => panic!("faulty exploration run failed: {e}"),
+        },
+        elect_oracle_property(bc),
+    )
+}
+
+/// ddmin-shrink a fault plan whose run violates the oracle property (or
+/// errors) on `bc` under `engine` — the fault-schedule analogue of
+/// [`shrink_schedule`](qelect_agentsim::explore::shrink_schedule).
+pub fn shrink_failing_plan(
+    bc: &Bicolored,
+    seed: u64,
+    engine: Engine,
+    plan: &FaultPlan,
+) -> FaultPlan {
+    shrink_plan(plan, |candidate| {
+        match run_elect_with_plan(bc, seed, engine, candidate) {
+            Ok(run) => faulty_run_matches_oracle(bc, &run).is_err(),
+            Err(_) => true,
+        }
+    })
 }
 
 /// Replay an (edited) ELECT schedule leniently and report whether the

@@ -80,6 +80,7 @@ pub fn translation_elect_with_budget<C: MobileCtx>(
     ctx: &mut C,
     budget: RecognitionBudget,
 ) -> Result<AgentOutcome, Interrupt> {
+    crate::elect::recovery_span_open(ctx);
     let view = compute_local_view(ctx)?;
     let bc = view.map.to_bicolored();
     ctx.checkpoint("cayley recognition start");

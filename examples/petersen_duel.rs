@@ -22,17 +22,13 @@ fn main() {
         oc.gcd_of_sizes()
     );
 
-    let elect_report = run_elect(&bc, RunConfig::default());
+    let elect_report = run_elect(&bc, RunConfig::default().to_gated());
     println!("ELECT outcome: {:?}", elect_report.outcomes);
 
     println!("\nthe bespoke five-step protocol (mark a neighbor, find the");
     println!("other's mark, race for the unique common neighbor):");
     for seed in 0..3 {
-        let cfg = RunConfig {
-            seed,
-            ..RunConfig::default()
-        };
-        let report = run_petersen(&bc, cfg);
+        let report = run_petersen(&bc, RunConfig::new(seed).to_gated());
         println!(
             "  seed {seed}: leader = agent {:?} ({} moves)",
             report.leader.expect("the duel always crowns someone"),

@@ -29,7 +29,8 @@ fn main() {
         }
     );
 
-    let report = run_elect(&instance, RunConfig::default());
+    let election = run_election(&instance, &RunConfig::new(0)).expect("run completes");
+    let report = &election.report;
 
     for (i, outcome) in report.outcomes.iter().enumerate() {
         println!("agent {i} ({}) → {outcome:?}", report.colors[i]);
@@ -48,9 +49,9 @@ fn main() {
     // have gcd 2 and ELECT must *report* the impossibility.
     let graph = families::cycle(6).expect("valid cycle");
     let symmetric = Bicolored::new(graph, &[0, 3]).expect("valid placement");
-    let report = run_elect(&symmetric, RunConfig::default());
+    let election = run_election(&symmetric, &RunConfig::new(0)).expect("run completes");
     println!(
         "\nC6 antipodal pair → {:?} (the paper: gcd(|C_i|) = 2, election impossible)",
-        report.outcomes
+        election.report.outcomes
     );
 }

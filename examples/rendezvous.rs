@@ -24,7 +24,7 @@ fn main() {
     );
 
     // Election alone, for comparison.
-    let elect_only = run_elect(&instance, RunConfig::default());
+    let elect_only = run_elect(&instance, RunConfig::default().to_gated());
     assert!(elect_only.clean_election(), "{:?}", elect_only.outcomes);
     println!(
         "election alone: leader = agent {:?}, {} moves",
@@ -33,7 +33,7 @@ fn main() {
     );
 
     // Election + gathering.
-    let report = run_gather(&instance, RunConfig::default());
+    let report = run_gather(&instance, RunConfig::default().to_gated());
     assert!(report.clean_election(), "{:?}", report.outcomes);
     println!(
         "election + gathering: leader = agent {:?}, {} moves",
@@ -48,7 +48,7 @@ fn main() {
 
     // And on an unsolvable instance, gathering honestly fails too.
     let sym = Bicolored::new(families::torus(&[4, 4]).unwrap(), &[0, 10]).unwrap();
-    let report = run_gather(&sym, RunConfig::default());
+    let report = run_gather(&sym, RunConfig::default().to_gated());
     println!(
         "\n4x4 torus, antipodal pair → {:?} (no leader, no rendezvous point)",
         report.outcomes[0]

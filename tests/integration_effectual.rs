@@ -3,6 +3,9 @@
 
 use qelect::prelude::*;
 use qelect::solvability::{election_possible_cayley, impossible_by_thm21};
+// The effectual/bespoke drivers (`run_translation_elect`, `run_petersen`)
+// are gated-engine specific, so this file uses the gated config.
+use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::AgentOutcome;
 use qelect_graph::{families, Bicolored};
 use qelect_group::marking::{marking_schedule, verify_witness_labeling};

@@ -3,7 +3,6 @@
 
 use qelect::prelude::*;
 use qelect::solvability::{elect_succeeds, gcd_of_class_sizes};
-use qelect_agentsim::freerun::{run_free, FreeAgent, FreeRunConfig};
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, labeling, Bicolored};
 
@@ -65,11 +64,7 @@ fn elect_agrees_with_gcd_oracle_across_suite() {
     for (label, bc) in suite() {
         let expected = elect_succeeds(&bc);
         for seed in [1, 2] {
-            let cfg = RunConfig {
-                seed,
-                ..RunConfig::default()
-            };
-            let report = run_elect(&bc, cfg);
+            let report = run_election(&bc, &RunConfig::new(seed)).unwrap().report;
             if expected {
                 assert!(
                     report.clean_election(),
@@ -104,13 +99,7 @@ fn elect_is_labeling_independent() {
                 gcd_of_class_sizes(&bc),
                 "{label}: classes depend on ports?!"
             );
-            let report = run_elect(
-                &sc,
-                RunConfig {
-                    seed,
-                    ..RunConfig::default()
-                },
-            );
+            let report = run_election(&sc, &RunConfig::new(seed)).unwrap().report;
             assert_eq!(
                 report.clean_election(),
                 expected,
@@ -130,12 +119,9 @@ fn elect_consistent_across_scheduler_policies() {
         Policy::Lockstep,
         Policy::GreedyLowest,
     ] {
-        let cfg = RunConfig {
-            seed: 5,
-            policy,
-            ..RunConfig::default()
-        };
-        let report = run_elect(&bc, cfg);
+        let report = run_election(&bc, &RunConfig::new(5).policy(policy))
+            .unwrap()
+            .report;
         assert!(report.clean_election(), "{policy:?}: {:?}", report.outcomes);
     }
 }
@@ -155,16 +141,14 @@ fn elect_runs_on_the_parallel_engine() {
         ),
     ] {
         let expected = elect_succeeds(&bc);
-        let agents: Vec<FreeAgent> = (0..bc.r())
-            .map(|_| -> FreeAgent { Box::new(qelect::elect::elect) })
-            .collect();
-        let report = run_free(&bc, FreeRunConfig::default(), agents);
+        let election = run_election(&bc, &RunConfig::new(0).engine(Engine::Free)).unwrap();
+        assert_eq!(election.engine, "free");
         assert_eq!(
-            report.clean_election(),
+            election.clean_election(),
             expected,
             "{label}: {:?} ({:?})",
-            report.outcomes,
-            report.interrupted
+            election.report.outcomes,
+            election.report.interrupted
         );
     }
 }
@@ -174,7 +158,7 @@ fn quantitative_baseline_is_universal_where_elect_fails() {
     // Table 1, quantitative row: success even on the gcd > 1 instances.
     for (label, bc) in suite() {
         let ids: Vec<u64> = (0..bc.r() as u64).map(|i| 100 + 7 * i).collect();
-        let report = run_quantitative(&bc, RunConfig::default(), &ids);
+        let report = run_quantitative(&bc, RunConfig::default().to_gated(), &ids);
         assert!(
             report.clean_election(),
             "{label}: quantitative must be universal, got {:?}",
@@ -200,7 +184,7 @@ fn elect_exhaustive_over_small_placements() {
         for r in 1..=max_r {
             for bc in Bicolored::all_placements(&g, r) {
                 let expected = elect_succeeds(&bc);
-                let report = run_elect(&bc, RunConfig::default());
+                let report = run_election(&bc, &RunConfig::default()).unwrap().report;
                 if expected {
                     assert!(
                         report.clean_election(),
@@ -228,7 +212,7 @@ fn gathering_inherits_election_verdicts() {
     use qelect::gathering::run_gather;
     for (label, bc) in suite() {
         let expected = elect_succeeds(&bc);
-        let report = run_gather(&bc, RunConfig::default());
+        let report = run_gather(&bc, RunConfig::default().to_gated());
         assert_eq!(
             report.clean_election(),
             expected,
@@ -282,7 +266,7 @@ fn elect_work_scales_with_r_times_edges() {
     let mut ratios = Vec::new();
     for n in [6usize, 8, 10, 12] {
         let bc = Bicolored::new(families::cycle(n).unwrap(), &[0, 1, 3]).unwrap();
-        let report = run_elect(&bc, RunConfig::default());
+        let report = run_election(&bc, &RunConfig::default()).unwrap().report;
         assert!(report.clean_election());
         let work = report.metrics.total_work() as f64;
         let re = (bc.r() * bc.graph().m()) as f64;

@@ -8,6 +8,10 @@ use qelect::prelude::*;
 use qelect::replay::{elect_schedule_fails, explore_elect_with_fault};
 use qelect::solvability::{elect_succeeds, gcd_of_class_sizes};
 use qelect_agentsim::explore::shrink_trace;
+// The exploration drivers are gated-engine specific (schedule trees only
+// exist under the deterministic scheduler), so this file uses the gated
+// engine's own config rather than the unified builder.
+use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::sched::Policy;
 use qelect_graph::{families, Bicolored};
 

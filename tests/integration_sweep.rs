@@ -11,8 +11,9 @@
 //! * the committed C6 double-election witness replays bit-for-bit
 //!   through the cached path, cold and warm.
 
-use qelect::prelude::{gcd_of_class_sizes, run_elect, RunConfig, Trace};
+use qelect::prelude::{gcd_of_class_sizes, run_elect, Trace};
 use qelect::solvability::elect_succeeds;
+use qelect_agentsim::gated::RunConfig;
 use qelect_bench::sweep::{run_sweep, SweepBucket, SweepConfig};
 use qelect_graph::cache;
 use qelect_graph::{families, Bicolored};

@@ -13,8 +13,12 @@
 
 use proptest::prelude::*;
 use qelect::prelude::*;
+// These properties drive scheduler-level knobs (policies, explicit
+// seeds, bounded exploration), so they use the gated engine's own
+// config struct rather than the unified builder.
 use qelect::schedule::Schedule;
 use qelect::solvability::elect_succeeds;
+use qelect_agentsim::gated::RunConfig;
 use qelect_graph::canon::are_isomorphic;
 use qelect_graph::surrounding::{gcd, ordered_classes};
 use qelect_graph::{automorphism, families, symmetricity, Bicolored, ColoredDigraph};
