@@ -233,7 +233,7 @@ fn outcome_fingerprint(report: &RunReport) -> u64 {
 /// budget runs out before the bounded tree does.
 ///
 /// * `run` executes the protocol under the given scheduler and must be
-///   deterministic given the grant sequence (i.e. drive `run_gated_with`
+///   deterministic given the grant sequence (i.e. drive `try_run_gated_with`
 ///   with a fixed instance, seed, and fresh agent programs each call),
 ///   with `record_trace` enabled so counterexamples carry schedules.
 /// * `property` returns `Err(description)` on a violating report.
@@ -376,7 +376,8 @@ where
 mod tests {
     use super::*;
     use crate::ctx::{AgentOutcome, MobileCtx};
-    use crate::gated::{run_gated_with, GatedAgent, RunConfig};
+    use crate::fault::FaultPlan;
+    use crate::gated::{try_run_gated_with, GatedAgent, RunConfig};
     use crate::sign::{Sign, SignKind};
     use qelect_graph::{families, Bicolored};
 
@@ -421,7 +422,8 @@ mod tests {
                 record_trace: true,
                 ..RunConfig::default()
             };
-            run_gated_with(bc, cfg, vec![mk(), mk()], scheduler)
+            try_run_gated_with(bc, cfg, &FaultPlan::none(), vec![mk(), mk()], scheduler)
+                .expect("gated run failed")
         }
     }
 

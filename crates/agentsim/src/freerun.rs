@@ -334,6 +334,7 @@ pub type FreeAgent = Box<dyn FnMut(&mut FreeCtx) -> Result<AgentOutcome, Interru
 ///
 /// Fault-free, panicking shim over [`try_run_free`]; kept for callers that
 /// predate the unified [`mod@crate::run`] front door.
+#[deprecated(note = "use RunConfig with qelect_agentsim::run (or try_run_free) instead")]
 pub fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
     match try_run_free(bc, cfg, &FaultPlan::none(), agents) {
         Ok(r) => r,
@@ -504,6 +505,12 @@ pub fn try_run_free(
 mod tests {
     use super::*;
     use qelect_graph::families;
+
+    /// Crash-free run through the non-deprecated typed entry (shadows
+    /// the legacy `run_free` shim for every test below).
+    fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
+        try_run_free(bc, cfg, &FaultPlan::none(), agents).expect("free run failed")
+    }
 
     fn instance(n: usize, hbs: &[usize]) -> Bicolored {
         Bicolored::new(families::cycle(n).unwrap(), hbs).unwrap()

@@ -534,7 +534,7 @@ pub fn run_gated_staggered(
             }
         })
         .collect();
-    run_gated(bc, cfg, wrapped)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), wrapped).expect("gated run failed")
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -556,8 +556,10 @@ enum St {
 ///
 /// Thin shim over [`try_run_gated_with`] (crash-free, panics on
 /// [`RunError`]); new code should prefer [`crate::run::run`].
+#[deprecated(note = "use RunConfig with qelect_agentsim::run (or run_gated_faulty) instead")]
 pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
     let mut scheduler = cfg.policy.build(cfg.seed);
+    #[allow(deprecated)]
     run_gated_with(bc, cfg, agents, scheduler.as_mut())
 }
 
@@ -571,6 +573,7 @@ pub fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> Run
 /// Thin shim over [`try_run_gated_with`] (crash-free, panics on
 /// [`RunError`] — the pre-typed-error behavior); new code should prefer
 /// [`crate::run::run`].
+#[deprecated(note = "use RunConfig with qelect_agentsim::run (or try_run_gated_with) instead")]
 pub fn run_gated_with(
     bc: &Bicolored,
     cfg: RunConfig,
@@ -879,6 +882,12 @@ mod tests {
 
     fn instance(n: usize, hbs: &[usize]) -> Bicolored {
         Bicolored::new(families::cycle(n).unwrap(), hbs).unwrap()
+    }
+
+    /// Crash-free run through the non-deprecated typed entry (shadows
+    /// the legacy `run_gated` shim for every test below).
+    fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+        run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
     }
 
     #[test]

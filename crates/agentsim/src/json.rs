@@ -60,6 +60,14 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The boolean, if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
 }
 
 /// First value for `key` in an object's fields.
@@ -67,15 +75,26 @@ pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
-/// The shared versioned-envelope convention of every JSON document the
-/// workspace emits.
+/// The workspace's public schema registry: the shared
+/// versioned-envelope convention of every JSON document the workspace
+/// reads or writes, daemon wire formats included.
 ///
 /// Each document is an object whose first field is
 /// `"schema": "<name>/<version>"`; readers call [`envelope::check`] (or
 /// [`envelope::check_document`]) before trusting any other field, so a
 /// format bump is a loud, typed failure instead of a silent misparse.
-/// The four schemas — audit, sweep, trace, faults — are declared here
-/// once and nowhere else.
+/// Every schema is declared here once and nowhere else; each has a
+/// serialize→parse round-trip test next to its writer.
+///
+/// | schema | writer | reader |
+/// |---|---|---|
+/// | `qelect-audit/1` | `qelectctl audit --json` (and the committed `BENCH_audit.json` baseline) | the audit baseline gate |
+/// | `qelect-sweep/1` | `qelectctl sweep --json` | downstream tooling |
+/// | `qelect-trace/1` | trace recording (`tests/traces/*.json`) | trace replay |
+/// | `qelect-faults/1` | `qelectctl faults --json`; serialized fault plans | fault-plan replay; nested plans in `qelect-request/1` |
+/// | `qelect-request/1` | `qelectd` clients (`qelectctl load`, curl) | the `qelectd` daemon |
+/// | `qelect-response/1` | the `qelectd` daemon (election, `/healthz`, `/metrics`, error bodies) | `qelectctl load`, curl |
+/// | `qelect-load/1` | `qelectctl load` (and the committed `BENCH_serve.json`) | the serving benchmark gate |
 pub mod envelope {
     use super::{get, parse, Value};
 
@@ -89,6 +108,33 @@ pub mod envelope {
     pub const TRACE: &str = "qelect-trace/1";
     /// `qelectctl faults` reports and serialized fault plans.
     pub const FAULTS: &str = "qelect-faults/1";
+    /// Election requests POSTed to `qelectd` (`/v1/elect`).
+    pub const REQUEST: &str = "qelect-request/1";
+    /// Every document `qelectd` emits: election results, `/healthz`,
+    /// `/metrics`, and error bodies (which add an `"error"` field).
+    pub const RESPONSE: &str = "qelect-response/1";
+    /// `qelectctl load` reports (and the committed `BENCH_serve.json`).
+    pub const LOAD: &str = "qelect-load/1";
+
+    /// The full registry: `(schema tag, one-line description)` for every
+    /// wire schema the workspace speaks, in declaration order.
+    pub fn all() -> &'static [(&'static str, &'static str)] {
+        &[
+            (
+                AUDIT,
+                "phase-resolved audit reports and the committed baseline",
+            ),
+            (SWEEP, "parallel sweep reports"),
+            (TRACE, "recorded deterministic traces"),
+            (FAULTS, "fault-injection reports and serialized fault plans"),
+            (REQUEST, "qelectd election requests"),
+            (
+                RESPONSE,
+                "qelectd responses (elections, health, metrics, errors)",
+            ),
+            (LOAD, "qelectctl load serving-benchmark reports"),
+        ]
+    }
 
     /// The opening `"schema"` line every writer emits first (two-space
     /// indented, trailing comma — the house object style).
@@ -125,6 +171,56 @@ pub mod envelope {
             .ok_or_else(|| format!("{expected} document must be a JSON object"))?;
         check(obj, expected)?;
         Ok(obj.to_vec())
+    }
+}
+
+/// Serialize a [`Value`] back to compact JSON text.
+///
+/// The inverse of [`parse`] up to whitespace and number formatting
+/// (integers that fit `i64` print without a fractional part, so the
+/// integer-valued documents our schemas use round-trip exactly). This is
+/// how nested documents are re-extracted — e.g. the `qelect-faults/1`
+/// plan embedded in a `qelect-request/1` envelope.
+pub fn write(value: &Value) -> String {
+    let mut out = String::new();
+    write_into(value, &mut out);
+    out
+}
+
+fn write_into(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9e15 {
+                out.push_str(&format!("{}", *n as i64));
+            } else {
+                out.push_str(&format!("{n}"));
+            }
+        }
+        Value::Str(s) => out.push_str(&escape(s)),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&escape(k));
+                out.push(':');
+                write_into(v, out);
+            }
+            out.push('}');
+        }
     }
 }
 
@@ -355,6 +451,50 @@ mod tests {
         assert!(envelope::check_document(&doc, envelope::SWEEP).is_err());
         assert!(envelope::check_document("{\"x\": 1}", envelope::AUDIT).is_err());
         assert!(envelope::check_document("[1]", envelope::AUDIT).is_err());
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_versioned() {
+        let all = envelope::all();
+        assert_eq!(all.len(), 7);
+        for (i, (name, desc)) in all.iter().enumerate() {
+            assert!(name.ends_with("/1"), "{name} lacks a version suffix");
+            assert!(name.starts_with("qelect-"), "{name}");
+            assert!(!desc.is_empty());
+            for (other, _) in &all[i + 1..] {
+                assert_ne!(name, other, "duplicate schema tag");
+            }
+        }
+        // The registry contains exactly the named constants.
+        for tag in [
+            envelope::AUDIT,
+            envelope::SWEEP,
+            envelope::TRACE,
+            envelope::FAULTS,
+            envelope::REQUEST,
+            envelope::RESPONSE,
+            envelope::LOAD,
+        ] {
+            assert!(all.iter().any(|(n, _)| *n == tag), "{tag} not registered");
+        }
+    }
+
+    #[test]
+    fn write_roundtrips_through_parse() {
+        let docs = [
+            r#"{"schema":"qelect-faults/1","seed":7,"events":[{"agent":0,"op":3,"action":"crash"}],"nested":{"x":[true,null,-2.5]}}"#,
+            r#"[1,2,3]"#,
+            r#""just a string""#,
+            r#"{"empty_obj":{},"empty_arr":[]}"#,
+        ];
+        for doc in docs {
+            let v = parse(doc).unwrap();
+            let text = write(&v);
+            assert_eq!(parse(&text).unwrap(), v, "{doc}");
+        }
+        // Integers print without a fractional part.
+        assert_eq!(write(&Value::Num(42.0)), "42");
+        assert_eq!(write(&Value::Num(-1.5)), "-1.5");
     }
 
     #[test]

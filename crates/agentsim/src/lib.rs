@@ -87,6 +87,7 @@ pub use color::{Color, ColorRegistry};
 pub use ctx::{AgentOutcome, Interrupt, LocalPort, MobileCtx};
 pub use explore::{explore_schedules, shrink_schedule, shrink_trace, ExploreConfig, ExploreReport};
 pub use fault::{shrink_plan, FaultAction, FaultEvent, FaultPlan, FaultSummary, RecoveryPolicy};
+#[allow(deprecated)]
 pub use gated::{run_gated, run_gated_with, GatedCtx, RunReport};
 pub use metrics::{AgentMetrics, Metrics, PhaseBreakdown, PhaseSpan, SpanTracker, UNSPANNED};
 pub use run::{run, ElectionRun, Engine, Protocol, ReplaySpec, RunConfig, RunError};

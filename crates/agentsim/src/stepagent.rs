@@ -77,8 +77,9 @@ pub fn drive<C: MobileCtx>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gated::{run_gated, GatedAgent, RunConfig};
+    use crate::gated::{run_gated_faulty, GatedAgent, RunConfig};
     use crate::sign::{Sign, SignKind};
+    use crate::FaultPlan;
     use qelect_graph::{families, Bicolored};
 
     /// Walks `budget` hops always through local port 0, then finishes.
@@ -104,7 +105,8 @@ mod tests {
             let mut agent = Walker { budget: 7 };
             drive(&mut agent, ctx)
         });
-        let report = run_gated(&bc, RunConfig::default(), vec![program]);
+        let report = run_gated_faulty(&bc, RunConfig::default(), &FaultPlan::none(), vec![program])
+            .expect("gated run failed");
         assert_eq!(report.outcomes, vec![AgentOutcome::Defeated]);
         assert_eq!(report.metrics.total_moves(), 7);
     }
@@ -149,7 +151,13 @@ mod tests {
         let bc = Bicolored::new(families::cycle(4).unwrap(), &[0, 2]).unwrap();
         let sleeper: GatedAgent = Box::new(|ctx| drive(&mut Sleeper, ctx));
         let announcer: GatedAgent = Box::new(|ctx| drive(&mut Announcer { remaining: 4 }, ctx));
-        let report = run_gated(&bc, RunConfig::default(), vec![sleeper, announcer]);
+        let report = run_gated_faulty(
+            &bc,
+            RunConfig::default(),
+            &FaultPlan::none(),
+            vec![sleeper, announcer],
+        )
+        .expect("gated run failed");
         assert!(report.clean_election(), "{:?}", report.outcomes);
     }
 }

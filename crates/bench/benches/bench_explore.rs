@@ -10,6 +10,19 @@ use qelect::prelude::*;
 use qelect_agentsim::gated::RunConfig;
 use qelect_graph::{families, Bicolored};
 
+/// Crash-free ELECT through the non-deprecated typed entry (shadows the
+/// deprecated `run_elect` shim re-exported by the prelude glob).
+fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    use qelect::elect::{elect_agents, ElectFault};
+    qelect_agentsim::gated::run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed")
+}
+
 fn bench_recording_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore/recording-overhead");
     let bc = Bicolored::new(families::cycle(8).unwrap(), &[0, 1, 3]).unwrap();

@@ -4,10 +4,20 @@
 //! engine exploits real threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qelect_agentsim::freerun::{run_free, FreeAgent, FreeRunConfig};
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
-use qelect_agentsim::{AgentOutcome, MobileCtx, Sign, SignKind};
+use qelect_agentsim::freerun::{try_run_free, FreeAgent, FreeRunConfig};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig};
+use qelect_agentsim::{AgentOutcome, FaultPlan, MobileCtx, RunReport, Sign, SignKind};
 use qelect_graph::{families, Bicolored};
+
+/// Crash-free runs through the non-deprecated typed entries (shadow the
+/// legacy `run_gated` / `run_free` shims).
+fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
+}
+
+fn run_free(bc: &Bicolored, cfg: FreeRunConfig, agents: Vec<FreeAgent>) -> RunReport {
+    try_run_free(bc, cfg, &FaultPlan::none(), agents).expect("free run failed")
+}
 
 const HOPS: usize = 200;
 

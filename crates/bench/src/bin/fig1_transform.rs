@@ -7,10 +7,17 @@
 //! coincide, and the message counts quantify the transformation.
 
 use qelect::stepquant::QuantMachine;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
 use qelect_agentsim::message_net::MessageNet;
 use qelect_agentsim::stepagent::{drive, StepAgent};
+use qelect_agentsim::FaultPlan;
 use qelect_bench::{header, row, standard_suite};
+use qelect_graph::Bicolored;
+
+/// Crash-free run through the non-deprecated typed entry.
+fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
+}
 
 fn main() {
     println!("# Figure 1 — mobile agents as messages\n");

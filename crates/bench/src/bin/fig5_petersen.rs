@@ -20,6 +20,19 @@ use qelect_graph::surrounding::ordered_classes;
 use qelect_graph::{families, Bicolored};
 use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
 
+/// Crash-free ELECT through the non-deprecated typed entry (shadows the
+/// deprecated `run_elect` shim re-exported by the prelude glob).
+fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    use qelect::elect::{elect_agents, ElectFault};
+    qelect_agentsim::gated::run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed")
+}
+
 fn main() {
     println!("# Figure 5 — the Petersen counterexample\n");
     let g = families::petersen().unwrap();

@@ -16,11 +16,11 @@
 use qelect::anonymous::{ring_probe, ring_probe_counterexample};
 use qelect::prelude::*;
 use qelect_agentsim::explore::shrink_schedule;
-use qelect_agentsim::gated::{run_gated_with, GatedAgent};
+use qelect_agentsim::gated::{try_run_gated_with, GatedAgent};
 use qelect_agentsim::AgentOutcome;
 use qelect_bench::cli::{
     parse_command, AuditInvocation, Command, ExploreInvocation, ExploreTarget, FaultsInvocation,
-    Invocation, Protocol, SweepInvocation,
+    Invocation, LoadInvocation, Protocol, ServeInvocation, SweepInvocation,
 };
 use qelect_bench::report;
 use qelect_graph::Bicolored;
@@ -33,11 +33,95 @@ fn main() {
         Ok(Command::Sweep(inv)) => sweep(inv),
         Ok(Command::Audit(inv)) => audit(inv),
         Ok(Command::Faults(inv)) => faults(inv),
+        Ok(Command::Serve(inv)) => serve(inv),
+        Ok(Command::Load(inv)) => load(inv),
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(2);
         }
     }
+}
+
+fn serve(inv: ServeInvocation) {
+    let handle = match qelect_bench::serve::start(inv.config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", inv.config.addr);
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "qelectd listening on {} ({} workers, {} io threads, queue {})",
+        handle.addr(),
+        inv.config.workers,
+        inv.config.io_threads,
+        inv.config.queue_cap,
+    );
+    match inv.duration_secs {
+        Some(secs) => {
+            println!("serving for {secs}s, then draining");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+        None => {
+            println!("POST /shutdown to drain and exit");
+            while !handle.draining() {
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+        }
+    }
+    let final_metrics = handle.shutdown();
+    print!("{final_metrics}");
+}
+
+fn load(inv: LoadInvocation) {
+    println!(
+        "# qelectd load — {} clients × {}s per phase{}\n",
+        inv.config.clients,
+        inv.config.duration_secs,
+        match &inv.config.addr {
+            Some(addr) => format!(" against {addr}"),
+            None => " (in-process server)".to_string(),
+        },
+    );
+    let (report, final_metrics) = match qelect_bench::load::run(&inv.config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    for phase in [&report.cold, &report.warm] {
+        println!(
+            "{:<5} {:>7.1} req/s  p50 {:>6}us  p99 {:>6}us  ok {}  disagree {}  \
+             errors {}  retried {}",
+            phase.name,
+            phase.throughput_rps,
+            phase.p50_us,
+            phase.p99_us,
+            phase.ok,
+            phase.disagreements,
+            phase.errors,
+            phase.retried,
+        );
+    }
+    println!(
+        "warm speedup {:.2}x; drain: {} admitted, {} refused, {} dropped of {}",
+        report.warm_speedup,
+        report.drain.admitted,
+        report.drain.refused,
+        report.drain.dropped,
+        report.drain.burst,
+    );
+    write_file(&inv.json, &report.to_json());
+    println!("qelect-load/1 report written to {}", inv.json);
+    if final_metrics.is_some() {
+        println!("(in-process daemon drained cleanly)");
+    }
+    if !report.passed() {
+        eprintln!("FAIL: oracle disagreement, transport errors, or dropped responses");
+        std::process::exit(1);
+    }
+    println!("PASS: 100% oracle agreement, zero dropped in-flight responses");
 }
 
 fn write_file(path: &str, text: &str) {
@@ -364,7 +448,14 @@ fn explore_anon_target(
             let agents: Vec<GatedAgent> = (0..bc.r())
                 .map(|_| -> GatedAgent { Box::new(ring_probe) })
                 .collect();
-            run_gated_with(bc, run_cfg, agents, scheduler)
+            try_run_gated_with(
+                bc,
+                run_cfg,
+                &qelect_agentsim::FaultPlan::none(),
+                agents,
+                scheduler,
+            )
+            .expect("explore run failed")
         },
         |report| {
             let leaders = report
@@ -389,7 +480,14 @@ fn explore_anon_target(
                     .map(|_| -> GatedAgent { Box::new(ring_probe) })
                     .collect();
                 let mut sched = qelect_agentsim::ReplayScheduler::new(s.to_vec());
-                let rep = run_gated_with(bc, run_cfg, agents, &mut sched);
+                let rep = try_run_gated_with(
+                    bc,
+                    run_cfg,
+                    &qelect_agentsim::FaultPlan::none(),
+                    agents,
+                    &mut sched,
+                )
+                .expect("replay run failed");
                 rep.outcomes
                     .iter()
                     .filter(|o| **o == AgentOutcome::Leader)

@@ -79,9 +79,42 @@
 //!            --engine E            gated | free | both (default both)
 //!            --json PATH           write the schema-versioned JSON report
 //! ```
+//!
+//! The `serve` subcommand starts `qelectd`, the long-running election
+//! daemon (see [`crate::serve`]):
+//!
+//! ```text
+//! qelectctl serve [options]
+//!
+//! options:   --addr HOST:PORT      bind address (default 127.0.0.1:7007)
+//!            --workers N           election worker threads (default 4)
+//!            --io-threads N        connection handler threads (default 16)
+//!            --queue-cap N         admission queue bound (default 64)
+//!            --retry-after-ms N    503 retry hint (default 50)
+//!            --duration N          serve N seconds, then drain and exit
+//!                                  (default: run until POST /shutdown)
+//!            --debug               honor debug_sleep_ms request fields
+//! ```
+//!
+//! The `load` subcommand runs the closed-loop serving benchmark
+//! (see [`crate::load`]): cold phase, warm phase, drain check, gated on
+//! the gcd oracle:
+//!
+//! ```text
+//! qelectctl load [options]
+//!
+//! options:   --addr HOST:PORT      target daemon (default: in-process)
+//!            --workers N           client threads (default 4)
+//!            --duration N          seconds per phase (default 5)
+//!            --policy P            random | round-robin | lockstep | greedy
+//!            --mix SPEC            add an instance to the mix (repeatable;
+//!                                  default: the E13 five-instance mix)
+//!            --drain-burst N       requests in the shutdown race (default 16)
+//!            --json PATH           report path (default BENCH_serve.json)
+//! ```
 
 use qelect_agentsim::sched::Policy;
-use qelect_graph::{families, Graph};
+use qelect_graph::Graph;
 
 /// Which protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -188,8 +221,28 @@ pub struct FaultsInvocation {
     pub json: Option<String>,
 }
 
+/// A fully parsed `serve` invocation.
+#[derive(Debug)]
+pub struct ServeInvocation {
+    /// The daemon shape (bind address, pools, queue bound).
+    pub config: crate::serve::ServeConfig,
+    /// Serve this many seconds, then drain and exit (`None`: run until
+    /// `POST /shutdown`).
+    pub duration_secs: Option<u64>,
+}
+
+/// A fully parsed `load` invocation.
+#[derive(Debug)]
+pub struct LoadInvocation {
+    /// The load shape (target, clients, phase duration, mix).
+    pub config: crate::load::LoadConfig,
+    /// Where the `qelect-load/1` report is written.
+    pub json: String,
+}
+
 /// A single-schedule run, a schedule exploration, a batch sweep, a
-/// phase-resolved audit, or a fault-injection crash sweep.
+/// phase-resolved audit, a fault-injection crash sweep, the serving
+/// daemon, or its load benchmark.
 #[derive(Debug)]
 pub enum Command {
     /// `qelectctl <protocol> <family> …`
@@ -202,6 +255,10 @@ pub enum Command {
     Audit(AuditInvocation),
     /// `qelectctl faults …`
     Faults(FaultsInvocation),
+    /// `qelectctl serve …`
+    Serve(ServeInvocation),
+    /// `qelectctl load …`
+    Load(LoadInvocation),
 }
 
 /// Parse errors, with a user-facing message.
@@ -211,6 +268,12 @@ pub struct ParseError(pub String);
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.0)
+    }
+}
+
+impl From<crate::spec::SpecError> for ParseError {
+    fn from(e: crate::spec::SpecError) -> ParseError {
+        ParseError(e.to_string())
     }
 }
 
@@ -237,54 +300,10 @@ fn parse_usize(s: &str, what: &str) -> Result<usize, ParseError> {
         .map_err(|_| ParseError(format!("bad {what}: '{s}'")))
 }
 
-/// Parse a family spec like `cycle:9` or `torus:3x4`.
+/// Parse a family spec like `cycle:9` or `torus:3x4` — a thin adapter
+/// over the shared grammar in [`crate::spec`].
 pub fn parse_family(spec: &str) -> Result<Graph, ParseError> {
-    let mut parts = spec.split(':');
-    let name = parts.next().unwrap_or("");
-    let rest: Vec<&str> = parts.collect();
-    let g = match (name, rest.as_slice()) {
-        ("cycle", [n]) => families::cycle(parse_usize(n, "cycle size")?),
-        ("path", [n]) => families::path(parse_usize(n, "path size")?),
-        ("complete", [n]) => families::complete(parse_usize(n, "complete size")?),
-        ("hypercube", [d]) => families::hypercube(parse_usize(d, "dimension")?),
-        ("torus", [dims]) => {
-            let dims: Result<Vec<usize>, _> = dims
-                .split('x')
-                .map(|d| parse_usize(d, "torus dim"))
-                .collect();
-            families::torus(&dims?)
-        }
-        ("petersen", []) => families::petersen(),
-        ("gp", [n, k]) => {
-            families::generalized_petersen(parse_usize(n, "gp n")?, parse_usize(k, "gp k")?)
-        }
-        ("star", [n]) => families::star(parse_usize(n, "leaf count")?),
-        ("circulant", [n, offs]) => {
-            let offsets: Result<Vec<usize>, _> =
-                offs.split(',').map(|o| parse_usize(o, "offset")).collect();
-            families::circulant(parse_usize(n, "size")?, &offsets?)
-        }
-        ("ccc", [d]) => families::cube_connected_cycles(parse_usize(d, "dimension")?),
-        ("butterfly", [d]) => families::wrapped_butterfly(parse_usize(d, "dimension")?),
-        ("stargraph", [k]) => families::star_graph(parse_usize(k, "k")?),
-        ("random", [n, p, seed]) => {
-            let p: f64 = p.parse().map_err(|_| ParseError(format!("bad p '{p}'")))?;
-            families::random_connected(
-                parse_usize(n, "size")?,
-                p,
-                parse_usize(seed, "seed")? as u64,
-            )
-        }
-        ("tree", [d]) => families::binary_tree(parse_usize(d, "depth")?),
-        ("grid", [dims]) => {
-            let mut it = dims.split('x');
-            let w = parse_usize(it.next().unwrap_or(""), "grid width")?;
-            let h = parse_usize(it.next().unwrap_or(""), "grid height")?;
-            families::grid(w, h)
-        }
-        _ => return err(format!("unknown family spec '{spec}'")),
-    };
-    g.map_err(|e| ParseError(format!("bad family '{spec}': {e}")))
+    Ok(crate::spec::parse_family(spec)?)
 }
 
 /// Parse a full argv (without the binary name).
@@ -532,24 +551,12 @@ pub fn parse_sweep(args: &[String]) -> Result<SweepInvocation, ParseError> {
 }
 
 /// Parse an audit instance spec: a family spec with optional home-bases
-/// appended after `@`, e.g. `cycle:12@0,1,3` (default home-base: 0).
+/// appended after `@`, e.g. `cycle:12@0,1,3` (default home-base: 0) —
+/// the shared grammar of [`crate::spec`].
 pub fn parse_audit_instance(spec: &str) -> Result<crate::report::AuditInstance, ParseError> {
-    let (family_spec, agents) = match spec.split_once('@') {
-        Some((fam, list)) => {
-            let parsed: Result<Vec<usize>, _> = list
-                .split(',')
-                .map(|a| parse_usize(a, "agent node"))
-                .collect();
-            (fam, parsed?)
-        }
-        None => (spec, vec![0usize]),
-    };
-    let graph = parse_family(family_spec)?;
-    Ok(crate::report::AuditInstance {
-        spec: family_spec.to_string(),
-        graph,
-        agents,
-    })
+    Ok(crate::report::AuditInstance::from(
+        crate::spec::InstanceSpec::parse(spec)?,
+    ))
 }
 
 /// Parse an `audit` argv (without the binary name and the `audit` token
@@ -722,14 +729,159 @@ pub fn parse_faults(args: &[String]) -> Result<FaultsInvocation, ParseError> {
     })
 }
 
+/// Parse a `serve` argv (without the binary name and the `serve` token
+/// itself).
+pub fn parse_serve(args: &[String]) -> Result<ServeInvocation, ParseError> {
+    let mut config = crate::serve::ServeConfig {
+        addr: "127.0.0.1:7007".to_string(),
+        ..Default::default()
+    };
+    let mut duration_secs = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--addr needs HOST:PORT".into()))?;
+                config.addr = v.clone();
+            }
+            "--workers" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--workers needs a value".into()))?;
+                config.workers = parse_usize(v, "worker count")?;
+                if config.workers == 0 {
+                    return err("--workers must be at least 1");
+                }
+            }
+            "--io-threads" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--io-threads needs a value".into()))?;
+                config.io_threads = parse_usize(v, "io thread count")?;
+                if config.io_threads == 0 {
+                    return err("--io-threads must be at least 1");
+                }
+            }
+            "--queue-cap" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--queue-cap needs a value".into()))?;
+                config.queue_cap = parse_usize(v, "queue capacity")?;
+                if config.queue_cap == 0 {
+                    return err("--queue-cap must be at least 1");
+                }
+            }
+            "--retry-after-ms" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--retry-after-ms needs a value".into()))?;
+                config.retry_after_ms = parse_usize(v, "retry-after")? as u64;
+            }
+            "--duration" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--duration needs seconds".into()))?;
+                duration_secs = Some(parse_usize(v, "duration")? as u64);
+            }
+            "--debug" => config.debug = true,
+            other => return err(format!("unknown serve option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(ServeInvocation {
+        config,
+        duration_secs,
+    })
+}
+
+/// Parse a `load` argv (without the binary name and the `load` token
+/// itself).
+pub fn parse_load(args: &[String]) -> Result<LoadInvocation, ParseError> {
+    let mut config = crate::load::LoadConfig::default();
+    let mut json = "BENCH_serve.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--addr needs HOST:PORT".into()))?;
+                config.addr = Some(v.clone());
+            }
+            "--workers" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--workers needs a value".into()))?;
+                config.clients = parse_usize(v, "client count")?;
+                if config.clients == 0 {
+                    return err("--workers must be at least 1");
+                }
+            }
+            "--duration" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--duration needs seconds".into()))?;
+                config.duration_secs = parse_usize(v, "duration")? as u64;
+            }
+            "--policy" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--policy needs a value".into()))?;
+                config.policy = crate::serve::parse_policy(v)
+                    .ok_or_else(|| ParseError(format!("unknown policy '{v}'")))?;
+            }
+            "--mix" => {
+                i += 1;
+                let v = args.get(i).ok_or(ParseError("--mix needs a spec".into()))?;
+                // Validate through the shared grammar at parse time,
+                // placement included.
+                crate::spec::InstanceSpec::parse(v)?.bicolored()?;
+                config.mix.push(v.clone());
+            }
+            "--drain-burst" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--drain-burst needs a value".into()))?;
+                config.drain_burst = parse_usize(v, "drain burst")?;
+            }
+            "--json" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .ok_or(ParseError("--json needs a path".into()))?;
+                json = v.clone();
+            }
+            other => return err(format!("unknown load option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(LoadInvocation { config, json })
+}
+
 /// Parse a full argv (without the binary name), dispatching between the
-/// single-run, `explore`, `sweep`, `audit` and `faults` forms.
+/// single-run, `explore`, `sweep`, `audit`, `faults`, `serve` and
+/// `load` forms.
 pub fn parse_command(args: &[String]) -> Result<Command, ParseError> {
     match args.first().map(String::as_str) {
         Some("explore") => parse_explore(&args[1..]).map(Command::Explore),
         Some("sweep") => parse_sweep(&args[1..]).map(Command::Sweep),
         Some("audit") => parse_audit(&args[1..]).map(Command::Audit),
         Some("faults") => parse_faults(&args[1..]).map(Command::Faults),
+        Some("serve") => parse_serve(&args[1..]).map(Command::Serve),
+        Some("load") => parse_load(&args[1..]).map(Command::Load),
         _ => parse_args(args).map(Command::Run),
     }
 }
@@ -1001,6 +1153,80 @@ mod tests {
         assert!(parse_command(&argv("sweep --bucket 8:5:0.2")).is_err());
         assert!(parse_command(&argv("sweep --bucket 5:8")).is_err());
         assert!(parse_command(&argv("sweep --bucket 5:8:x")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_options() {
+        let cmd = parse_command(&argv("serve")).unwrap();
+        let Command::Serve(inv) = cmd else {
+            panic!("expected serve")
+        };
+        assert_eq!(inv.config.addr, "127.0.0.1:7007");
+        assert_eq!(inv.config.workers, 4);
+        assert!(inv.duration_secs.is_none());
+        assert!(!inv.config.debug);
+        let cmd = parse_command(&argv(
+            "serve --addr 127.0.0.1:0 --workers 2 --io-threads 8 \
+             --queue-cap 5 --retry-after-ms 20 --duration 3 --debug",
+        ))
+        .unwrap();
+        let Command::Serve(inv) = cmd else {
+            panic!("expected serve")
+        };
+        assert_eq!(inv.config.addr, "127.0.0.1:0");
+        assert_eq!(inv.config.workers, 2);
+        assert_eq!(inv.config.io_threads, 8);
+        assert_eq!(inv.config.queue_cap, 5);
+        assert_eq!(inv.config.retry_after_ms, 20);
+        assert_eq!(inv.duration_secs, Some(3));
+        assert!(inv.config.debug);
+    }
+
+    #[test]
+    fn serve_rejects_nonsense() {
+        assert!(parse_command(&argv("serve --workers 0")).is_err());
+        assert!(parse_command(&argv("serve --queue-cap 0")).is_err());
+        assert!(parse_command(&argv("serve --io-threads 0")).is_err());
+        assert!(parse_command(&argv("serve --duration x")).is_err());
+        assert!(parse_command(&argv("serve --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_load_defaults_and_options() {
+        let cmd = parse_command(&argv("load")).unwrap();
+        let Command::Load(inv) = cmd else {
+            panic!("expected load")
+        };
+        assert!(inv.config.addr.is_none(), "default: in-process server");
+        assert_eq!(inv.config.clients, 4);
+        assert_eq!(inv.config.duration_secs, 5);
+        assert!(inv.config.mix.is_empty(), "empty mix selects the default");
+        assert_eq!(inv.json, "BENCH_serve.json");
+        let cmd = parse_command(&argv(
+            "load --addr 127.0.0.1:7007 --workers 8 --duration 2 \
+             --policy lockstep --mix cycle:9@0,1,3 --mix petersen@0,1 \
+             --drain-burst 4 --json L.json",
+        ))
+        .unwrap();
+        let Command::Load(inv) = cmd else {
+            panic!("expected load")
+        };
+        assert_eq!(inv.config.addr.as_deref(), Some("127.0.0.1:7007"));
+        assert_eq!(inv.config.clients, 8);
+        assert_eq!(inv.config.duration_secs, 2);
+        assert_eq!(inv.config.policy, Policy::Lockstep);
+        assert_eq!(inv.config.mix, vec!["cycle:9@0,1,3", "petersen@0,1"]);
+        assert_eq!(inv.config.drain_burst, 4);
+        assert_eq!(inv.json, "L.json");
+    }
+
+    #[test]
+    fn load_rejects_nonsense() {
+        assert!(parse_command(&argv("load --workers 0")).is_err());
+        assert!(parse_command(&argv("load --mix nosuch:5")).is_err());
+        assert!(parse_command(&argv("load --mix cycle:6@0,0")).is_err());
+        assert!(parse_command(&argv("load --policy warp")).is_err());
+        assert!(parse_command(&argv("load --frobnicate")).is_err());
     }
 
     #[test]

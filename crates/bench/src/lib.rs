@@ -28,7 +28,10 @@
 
 pub mod cli;
 pub mod faults;
+pub mod load;
 pub mod report;
+pub mod serve;
+pub mod spec;
 pub mod sweep;
 
 use qelect_graph::{families, Bicolored, Graph};

@@ -1,0 +1,662 @@
+//! `qelectctl load` — the closed-loop load generator for `qelectd`.
+//!
+//! The generator is the daemon's acceptance harness: N client threads
+//! drive keep-alive connections against a server (an in-process one by
+//! default, so one command measures the whole stack), check **every**
+//! response against the local gcd oracle, and write a schema-versioned
+//! [`qelect-load/1`] report.
+//!
+//! A run has three acts:
+//!
+//! 1. **Cold phase** — the canonical-form cache is disabled and cleared
+//!    through `POST /admin/cache`, so every election pays the full
+//!    COMPUTE & ORDER cost. Closed-loop clients hammer the mix for
+//!    `duration_secs` and record per-request latency.
+//! 2. **Warm phase** — the cache is re-enabled (cleared again, then
+//!    warmed by one pass over the mix), and the same closed loop runs
+//!    again. `warm_speedup` = warm throughput / cold throughput; the
+//!    serving benchmark gates on ≥ 2x.
+//! 3. **Drain check** — a burst of in-flight requests races a graceful
+//!    shutdown. Every request must still receive a well-formed response
+//!    (`200` for admitted jobs, `503` for refused ones); a connection
+//!    that dies without an answer counts as *dropped* and fails the run.
+//!
+//! [`LoadReport::passed`] is the exit gate: 100% oracle agreement, zero
+//! transport errors, zero dropped in-flight responses.
+//!
+//! [`qelect-load/1`]: qelect_agentsim::json::envelope::LOAD
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use qelect_agentsim::json::{envelope, escape, get, Value};
+use qelect_agentsim::sched::Policy;
+
+use crate::report::WorkHistogram;
+use crate::serve::{self, policy_name, ServeConfig, ServerHandle};
+use crate::spec::InstanceSpec;
+
+/// Configuration of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target daemon; `None` spawns an in-process server (and owns its
+    /// lifecycle, including the drain check's shutdown).
+    pub addr: Option<String>,
+    /// Client threads (closed loop: each sends, waits, repeats).
+    pub clients: usize,
+    /// Seconds per measured phase (cold, then warm).
+    pub duration_secs: u64,
+    /// Scheduler policy sent with every request.
+    pub policy: Policy,
+    /// Request mix (instance specs); empty selects [`default_mix`].
+    pub mix: Vec<String>,
+    /// Requests in the shutdown-drain burst.
+    pub drain_burst: usize,
+    /// Server shape when spawning in process.
+    pub serve: ServeConfig,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: None,
+            clients: 4,
+            duration_secs: 5,
+            policy: Policy::Random,
+            mix: Vec::new(),
+            drain_burst: 16,
+            serve: ServeConfig::default(),
+        }
+    }
+}
+
+/// The default request mix: solvable and unsolvable instances across
+/// the cycle, circulant and Petersen families, so oracle gating
+/// exercises both verdicts and the cache sees several graph families.
+/// The two large instances keep canonical-form preparation (the
+/// cacheable part of a request) on the serving hot path, so the
+/// warm-vs-cold comparison measures what the cache actually buys.
+pub fn default_mix() -> Vec<String> {
+    [
+        "cycle:12@0,1,3",
+        "cycle:9@0,1,2,3,4",
+        "circulant:12:1,3@0,1,3",
+        "petersen@0,1",
+        "cycle:6@0,3",
+        "cycle:48@0,1,5",
+        "circulant:40:1,3@0,1,3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+/// One mix item with its locally computed oracle verdict.
+struct MixItem {
+    spec: String,
+    solvable: bool,
+}
+
+fn resolve_mix(specs: &[String]) -> Result<Vec<MixItem>, String> {
+    let specs = if specs.is_empty() {
+        default_mix()
+    } else {
+        specs.to_vec()
+    };
+    specs
+        .iter()
+        .map(|raw| {
+            let spec = InstanceSpec::parse(raw).map_err(|e| e.to_string())?;
+            let bc = spec.bicolored().map_err(|e| e.to_string())?;
+            Ok(MixItem {
+                spec: spec.key(),
+                solvable: qelect::solvability::elect_succeeds(&bc),
+            })
+        })
+        .collect()
+}
+
+/// A minimal keep-alive HTTP/1.1 client connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+/// One parsed HTTP response: status code and body text.
+pub(crate) struct HttpResponse {
+    /// The status code from the response line.
+    pub code: u16,
+    /// The response body (JSON for every qelectd endpoint).
+    pub body: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Result<Client, String> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_nodelay(true);
+        let writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            addr,
+        })
+    }
+
+    /// Send one request; reconnect once if the keep-alive connection
+    /// went away (the server closes idle connections).
+    fn request(&mut self, method: &str, path: &str, body: &str) -> Result<HttpResponse, String> {
+        match http_roundtrip(&mut self.reader, &mut self.writer, method, path, body) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                *self = Client::connect(self.addr)?;
+                http_roundtrip(&mut self.reader, &mut self.writer, method, path, body)
+            }
+        }
+    }
+}
+
+fn http_roundtrip(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<HttpResponse, String> {
+    use std::io::{BufRead, Read, Write};
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: qelectd\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    writer
+        .write_all(head.as_bytes())
+        .and_then(|_| writer.write_all(body.as_bytes()))
+        .and_then(|_| writer.flush())
+        .map_err(|e| format!("send: {e}"))?;
+    let mut status = String::new();
+    reader
+        .read_line(&mut status)
+        .map_err(|e| format!("recv: {e}"))?;
+    let code: u16 = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status:?}"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad content-length {value:?}"))?;
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|e| format!("recv body: {e}"))?;
+    Ok(HttpResponse {
+        code,
+        body: String::from_utf8(buf).map_err(|_| "body is not UTF-8".to_string())?,
+    })
+}
+
+/// Fire one request at `addr` on a fresh connection.
+pub(crate) fn one_shot(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<HttpResponse, String> {
+    Client::connect(addr)?.request(method, path, body)
+}
+
+fn elect_body(spec: &str, policy: Policy, seed: u64) -> String {
+    format!(
+        "{{\"schema\": {}, \"spec\": {}, \"policy\": {}, \"seed\": {seed}}}",
+        escape(envelope::REQUEST),
+        escape(spec),
+        escape(policy_name(policy)),
+    )
+}
+
+/// Latency + correctness tallies of one measured phase.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase label (`"cold"` / `"warm"`).
+    pub name: String,
+    /// Completed elections (200s that agreed with the oracle).
+    pub ok: u64,
+    /// Responses disagreeing with the local gcd oracle.
+    pub disagreements: u64,
+    /// Transport/protocol errors.
+    pub errors: u64,
+    /// 503 backpressure rejections retried (not failures).
+    pub retried: u64,
+    /// Measured wall-clock of the phase, in milliseconds.
+    pub wall_ms: u64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Exact latency percentiles, in microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, in microseconds.
+    pub p99_us: u64,
+    /// Power-of-two latency histogram (microsecond buckets).
+    pub histogram: WorkHistogram,
+}
+
+/// Outcome of the shutdown-drain check.
+#[derive(Debug, Clone, Default)]
+pub struct DrainReport {
+    /// Requests in the burst.
+    pub burst: u64,
+    /// Answered `200` — admitted before the drain and completed.
+    pub admitted: u64,
+    /// Answered `503` — refused by backpressure or the drain.
+    pub refused: u64,
+    /// No well-formed response at all. Must be zero.
+    pub dropped: u64,
+}
+
+/// The full `qelect-load/1` report.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads driving the closed loop.
+    pub clients: usize,
+    /// Request mix (instance spec keys).
+    pub mix: Vec<String>,
+    /// Cold-cache phase.
+    pub cold: PhaseReport,
+    /// Warm-cache phase.
+    pub warm: PhaseReport,
+    /// Warm throughput / cold throughput.
+    pub warm_speedup: f64,
+    /// The shutdown-drain check.
+    pub drain: DrainReport,
+}
+
+impl LoadReport {
+    /// The exit gate: every response agreed with the gcd oracle, no
+    /// transport errors, and the drain dropped nothing.
+    pub fn passed(&self) -> bool {
+        self.cold.disagreements == 0
+            && self.warm.disagreements == 0
+            && self.cold.errors == 0
+            && self.warm.errors == 0
+            && self.drain.dropped == 0
+    }
+
+    /// Serialize as a `qelect-load/1` document.
+    pub fn to_json(&self) -> String {
+        let phase = |p: &PhaseReport| {
+            let mut s = String::new();
+            s.push_str(&format!(
+                "{{\"ok\": {}, \"disagreements\": {}, \"errors\": {}, \"retried\": {}, \
+                 \"wall_ms\": {}, \"throughput_rps\": {:.2}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"latency_us_histogram\": [",
+                p.ok,
+                p.disagreements,
+                p.errors,
+                p.retried,
+                p.wall_ms,
+                p.throughput_rps,
+                p.p50_us,
+                p.p99_us,
+            ));
+            for (i, count) in p.histogram.buckets.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!(
+                    "{{\"bucket\": {}, \"count\": {count}}}",
+                    escape(&WorkHistogram::bucket_label(i))
+                ));
+            }
+            s.push_str("]}");
+            s
+        };
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&envelope::header(envelope::LOAD));
+        s.push_str(&format!("  \"clients\": {},\n", self.clients));
+        s.push_str("  \"mix\": [");
+        for (i, spec) in self.mix.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&escape(spec));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!("  \"cold\": {},\n", phase(&self.cold)));
+        s.push_str(&format!("  \"warm\": {},\n", phase(&self.warm)));
+        s.push_str(&format!("  \"warm_speedup\": {:.2},\n", self.warm_speedup));
+        s.push_str(&format!(
+            "  \"drain\": {{\"burst\": {}, \"admitted\": {}, \"refused\": {}, \"dropped\": {}}},\n",
+            self.drain.burst, self.drain.admitted, self.drain.refused, self.drain.dropped
+        ));
+        s.push_str(&format!("  \"passed\": {}\n", self.passed()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Check one `200` election body against the local oracle verdict.
+fn response_agrees(body: &str, solvable: bool) -> Result<bool, String> {
+    let obj = envelope::check_document(body, envelope::RESPONSE)?;
+    let outcome = get(&obj, "outcome")
+        .and_then(Value::as_str)
+        .ok_or("election response lacks \"outcome\"")?;
+    Ok(match outcome {
+        "elected" => solvable,
+        "unsolvable" => !solvable,
+        _ => false,
+    })
+}
+
+/// Drive one measured closed-loop phase against `addr`.
+fn run_phase(
+    name: &str,
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    mix: &[MixItem],
+    seed_base: u64,
+) -> PhaseReport {
+    let deadline = Instant::now() + Duration::from_secs(cfg.duration_secs);
+    let ok = AtomicU64::new(0);
+    let disagreements = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+    let latencies = parking_lot::Mutex::new(Vec::<u64>::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client_id in 0..cfg.clients {
+            let (ok, disagreements, errors, retried, latencies) =
+                (&ok, &disagreements, &errors, &retried, &latencies);
+            let client_seed = seed_base + client_id as u64 * 1_000_003;
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                let mut local: Vec<u64> = Vec::new();
+                let mut n = 0u64;
+                while Instant::now() < deadline {
+                    let item = &mix[(n as usize + client_id) % mix.len()];
+                    // Distinct seeds across clients keep the phase free
+                    // of single-flight coalescing: every request is a
+                    // real election.
+                    let body = elect_body(&item.spec, cfg.policy, client_seed + n);
+                    n += 1;
+                    let sent = Instant::now();
+                    match client.request("POST", "/v1/elect", &body) {
+                        Ok(resp) if resp.code == 200 => {
+                            local.push(sent.elapsed().as_micros() as u64);
+                            match response_agrees(&resp.body, item.solvable) {
+                                Ok(true) => ok.fetch_add(1, Ordering::Relaxed),
+                                Ok(false) => disagreements.fetch_add(1, Ordering::Relaxed),
+                                Err(_) => errors.fetch_add(1, Ordering::Relaxed),
+                            };
+                        }
+                        Ok(resp) if resp.code == 503 => {
+                            // Backpressure: honor the retry hint.
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            let ms = envelope::check_document(&resp.body, envelope::RESPONSE)
+                                .ok()
+                                .and_then(|obj| get(&obj, "retry_after_ms").and_then(Value::as_num))
+                                .unwrap_or(10.0) as u64;
+                            std::thread::sleep(Duration::from_millis(ms.min(200)));
+                        }
+                        Ok(_) | Err(_) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().extend(local);
+            });
+        }
+    });
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let mut lat = latencies.into_inner();
+    lat.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if lat.is_empty() {
+            return 0;
+        }
+        let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+        lat[idx.min(lat.len() - 1)]
+    };
+    let mut histogram = WorkHistogram::default();
+    for &v in &lat {
+        histogram.add(v);
+    }
+    let completed = ok.load(Ordering::Relaxed) + disagreements.load(Ordering::Relaxed);
+    PhaseReport {
+        name: name.to_string(),
+        ok: ok.load(Ordering::Relaxed),
+        disagreements: disagreements.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+        retried: retried.load(Ordering::Relaxed),
+        wall_ms,
+        throughput_rps: completed as f64 / (wall_ms.max(1) as f64 / 1000.0),
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        histogram,
+    }
+}
+
+/// Configure the daemon's cache for a phase via `POST /admin/cache`.
+fn set_cache(addr: SocketAddr, enabled: bool) -> Result<(), String> {
+    let body = format!("{{\"enabled\": {enabled}, \"clear\": true}}");
+    let resp = one_shot(addr, "POST", "/admin/cache", &body)?;
+    if resp.code != 200 {
+        return Err(format!("admin/cache answered {}", resp.code));
+    }
+    Ok(())
+}
+
+/// The shutdown-drain check: race `drain_burst` slow in-flight requests
+/// against a graceful shutdown; every request must be answered.
+fn drain_check(
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    mix: &[MixItem],
+    server: Option<ServerHandle>,
+) -> (DrainReport, Option<String>) {
+    let admitted = AtomicU64::new(0);
+    let refused = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let fired = AtomicBool::new(false);
+    let mut final_metrics = None;
+    std::thread::scope(|scope| {
+        for i in 0..cfg.drain_burst {
+            let (admitted, refused, dropped, fired) = (&admitted, &refused, &dropped, &fired);
+            let spec = mix[i % mix.len()].spec.clone();
+            let policy = cfg.policy;
+            scope.spawn(move || {
+                // Seeds disjoint from the measured phases, distinct per
+                // request, so the burst is `drain_burst` real jobs.
+                let body = elect_body(&spec, policy, 0xD4A1_0000 + i as u64);
+                fired.store(true, Ordering::SeqCst);
+                match one_shot(addr, "POST", "/v1/elect", &body) {
+                    Ok(resp) if resp.code == 200 => admitted.fetch_add(1, Ordering::Relaxed),
+                    Ok(resp) if resp.code == 503 => refused.fetch_add(1, Ordering::Relaxed),
+                    _ => dropped.fetch_add(1, Ordering::Relaxed),
+                };
+            });
+        }
+        // Let the burst land in the queue, then pull the plug.
+        while !fired.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        match server {
+            Some(handle) => final_metrics = Some(handle.shutdown()),
+            None => {
+                let _ = one_shot(addr, "POST", "/shutdown", "");
+            }
+        }
+    });
+    (
+        DrainReport {
+            burst: cfg.drain_burst as u64,
+            admitted: admitted.load(Ordering::Relaxed),
+            refused: refused.load(Ordering::Relaxed),
+            dropped: dropped.load(Ordering::Relaxed),
+        },
+        final_metrics,
+    )
+}
+
+/// Run the full load benchmark. Returns the report and, when the server
+/// was spawned in process, its final metrics snapshot.
+pub fn run(cfg: &LoadConfig) -> Result<(LoadReport, Option<String>), String> {
+    assert!(cfg.clients >= 1, "load needs at least one client");
+    let mix = resolve_mix(&cfg.mix)?;
+    let (addr, server) = match &cfg.addr {
+        Some(addr) => {
+            let addr: SocketAddr = one_shot_resolve(addr)?;
+            (addr, None)
+        }
+        None => {
+            let server = serve::start(cfg.serve.clone()).map_err(|e| format!("spawn: {e}"))?;
+            (server.addr(), Some(server))
+        }
+    };
+    // Sanity: the daemon is up.
+    let health = one_shot(addr, "GET", "/healthz", "")?;
+    if health.code != 200 {
+        return Err(format!("healthz answered {}", health.code));
+    }
+
+    // Cold: no canonical-form cache at all.
+    set_cache(addr, false)?;
+    let cold = run_phase("cold", addr, cfg, &mix, 1);
+
+    // Warm: cache on, cleared, then primed with one pass over the mix.
+    set_cache(addr, true)?;
+    for (i, item) in mix.iter().enumerate() {
+        let body = elect_body(&item.spec, cfg.policy, 0xAAAA + i as u64);
+        let _ = one_shot(addr, "POST", "/v1/elect", &body);
+    }
+    let warm = run_phase("warm", addr, cfg, &mix, 1_000_000_007);
+
+    let warm_speedup = if cold.throughput_rps > 0.0 {
+        warm.throughput_rps / cold.throughput_rps
+    } else {
+        0.0
+    };
+    let (drain, final_metrics) = drain_check(addr, cfg, &mix, server);
+    Ok((
+        LoadReport {
+            clients: cfg.clients,
+            mix: mix.into_iter().map(|m| m.spec).collect(),
+            cold,
+            warm,
+            warm_speedup,
+            drain,
+        },
+        final_metrics,
+    ))
+}
+
+fn one_shot_resolve(addr: &str) -> Result<SocketAddr, String> {
+    use std::net::ToSocketAddrs;
+    addr.to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("no address for {addr}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mix_resolves_with_oracle_verdicts() {
+        let mix = resolve_mix(&[]).unwrap();
+        assert_eq!(mix.len(), 7);
+        let by_spec: Vec<(&str, bool)> =
+            mix.iter().map(|m| (m.spec.as_str(), m.solvable)).collect();
+        assert!(by_spec.contains(&("cycle:6@0,3", false)), "{by_spec:?}");
+        assert!(by_spec.contains(&("petersen@0,1", false)), "{by_spec:?}");
+        assert!(by_spec.contains(&("cycle:12@0,1,3", true)), "{by_spec:?}");
+    }
+
+    #[test]
+    fn bad_mix_specs_are_rejected() {
+        assert!(resolve_mix(&["nosuch:4".to_string()]).is_err());
+        assert!(resolve_mix(&["cycle:6@0,0".to_string()]).is_err());
+    }
+
+    #[test]
+    fn report_json_is_versioned_and_gates() {
+        let phase = |ok| PhaseReport {
+            name: "cold".into(),
+            ok,
+            disagreements: 0,
+            errors: 0,
+            retried: 2,
+            wall_ms: 1000,
+            throughput_rps: ok as f64,
+            p50_us: 150,
+            p99_us: 900,
+            histogram: {
+                let mut h = WorkHistogram::default();
+                h.add(150);
+                h.add(900);
+                h
+            },
+        };
+        let report = LoadReport {
+            clients: 4,
+            mix: default_mix(),
+            cold: phase(100),
+            warm: phase(260),
+            warm_speedup: 2.6,
+            drain: DrainReport {
+                burst: 16,
+                admitted: 12,
+                refused: 4,
+                dropped: 0,
+            },
+        };
+        assert!(report.passed());
+        let obj = envelope::check_document(&report.to_json(), envelope::LOAD).unwrap();
+        assert_eq!(get(&obj, "warm_speedup").unwrap().as_num(), Some(2.6));
+        assert_eq!(get(&obj, "passed").unwrap().as_bool(), Some(true));
+        let mut failing = report.clone();
+        failing.drain.dropped = 1;
+        assert!(!failing.passed());
+        let mut disagreeing = report;
+        disagreeing.warm.disagreements = 1;
+        assert!(!disagreeing.passed());
+    }
+
+    #[test]
+    fn oracle_agreement_checks_outcomes() {
+        let elected = r#"{"schema": "qelect-response/1", "outcome": "elected"}"#;
+        let unsolvable = r#"{"schema": "qelect-response/1", "outcome": "unsolvable"}"#;
+        assert!(response_agrees(elected, true).unwrap());
+        assert!(!response_agrees(elected, false).unwrap());
+        assert!(response_agrees(unsolvable, false).unwrap());
+        assert!(!response_agrees(unsolvable, true).unwrap());
+        assert!(response_agrees("not json", true).is_err());
+    }
+}

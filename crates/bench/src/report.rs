@@ -76,9 +76,19 @@ impl AuditInstance {
         format!("{}@{}", self.spec, agents.join(","))
     }
 
-    /// The graph family (the spec up to the first `:`).
+    /// The graph family, via the shared spec grammar.
     pub fn family(&self) -> &str {
-        self.spec.split(':').next().unwrap_or(&self.spec)
+        crate::spec::family_of(&self.spec)
+    }
+}
+
+impl From<crate::spec::InstanceSpec> for AuditInstance {
+    fn from(s: crate::spec::InstanceSpec) -> AuditInstance {
+        AuditInstance {
+            spec: s.family_spec,
+            graph: s.graph,
+            agents: s.agents,
+        }
     }
 }
 

@@ -17,7 +17,8 @@
 //! the *other's* indistinguishable mark after 3 hops and both declare
 //! themselves leader — the protocol violation the theory predicts.
 
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, ColorRegistry, Interrupt, MobileCtx, Sign, SignKind};
 use qelect_graph::Bicolored;
 
@@ -61,7 +62,7 @@ pub fn run_ring_probe(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(ring_probe) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 /// The shared color anonymous demos use for illustration.

@@ -28,7 +28,8 @@ use crate::map::AgentMap;
 use crate::mapdraw::map_drawing;
 use crate::reduce::{agent_reduce, node_reduce, Courier, ReduceExit};
 use crate::schedule::{PhaseKind, Schedule};
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Color, Interrupt, MobileCtx, SignKind, Whiteboard};
 use qelect_graph::cache::ordered_classes_cached;
 use qelect_graph::Bicolored;
@@ -384,11 +385,12 @@ pub fn run_election(
 /// Thin legacy shim over the gated engine, kept for the tests and tools
 /// that predate [`run_election`]; new callers should prefer the unified
 /// entry point, which also surfaces engine failures as typed errors.
+#[deprecated(note = "use run_election with the unified RunConfig instead")]
 pub fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(elect) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 /// Fresh ELECT agent programs, optionally faulty (the building block
@@ -404,6 +406,18 @@ mod tests {
     use super::*;
     use qelect_agentsim::sched::Policy;
     use qelect_graph::families;
+
+    /// Crash-free ELECT through the non-deprecated typed entry (shadows
+    /// the legacy `run_elect` shim for every test below).
+    fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+        run_gated_faulty(
+            bc,
+            cfg,
+            &FaultPlan::none(),
+            elect_agents(bc.r(), ElectFault::default()),
+        )
+        .expect("gated run failed")
+    }
 
     fn check_elects(bc: &Bicolored, seed: u64) -> RunReport {
         let cfg = RunConfig {

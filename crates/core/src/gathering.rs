@@ -11,7 +11,8 @@
 
 use crate::elect::{compute_local_view, elect_from_view};
 use crate::reduce::Courier;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Color, Interrupt, MobileCtx, SignKind};
 use qelect_graph::Bicolored;
 
@@ -74,7 +75,7 @@ pub fn run_gather(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(gather) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ pub mod quantitative;
 pub mod reduce;
 pub mod replay;
 pub mod schedule;
+pub mod service;
 pub mod solvability;
 pub mod stepquant;
 pub mod translation_elect;
@@ -72,12 +73,15 @@ pub mod view_elect;
 /// remains available as [`qelect_agentsim::gated::RunConfig`] (or via
 /// [`qelect_agentsim::RunConfig::to_gated`]).
 pub mod prelude {
-    pub use crate::elect::{elect, run_elect, run_election, ElectProtocol};
+    #[allow(deprecated)]
+    pub use crate::elect::run_elect;
+    pub use crate::elect::{elect, run_election, ElectProtocol};
     pub use crate::quantitative::{quantitative_elect, run_quantitative};
     pub use crate::replay::{
         explore_elect, faulty_run_matches_oracle, replay_elect, run_elect_recorded,
         run_elect_with_plan,
     };
+    pub use crate::service::PreparedElection;
     pub use crate::solvability::{election_possible_cayley, gcd_of_class_sizes};
     pub use crate::translation_elect::{run_translation_elect, translation_elect};
     pub use qelect_agentsim::explore::{ExploreConfig, ExploreReport};

@@ -149,11 +149,17 @@ fn map_drawing_inner<C: MobileCtx>(ctx: &mut C) -> Result<AgentMap, Interrupt> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
-    use qelect_agentsim::AgentOutcome;
+    use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+    use qelect_agentsim::{AgentOutcome, FaultPlan};
     use qelect_graph::canon::are_isomorphic;
     use qelect_graph::{families, Bicolored, ColoredDigraph};
     use std::sync::mpsc;
+
+    /// Crash-free run through the non-deprecated typed entry (shadows
+    /// the legacy `run_gated` shim for every test below).
+    fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+        run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
+    }
 
     /// Run map drawing for every agent and return the maps.
     fn draw_all(bc: &Bicolored, seed: u64) -> Vec<AgentMap> {

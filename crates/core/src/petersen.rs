@@ -24,7 +24,8 @@
 
 use crate::mapdraw::map_drawing;
 use crate::reduce::Courier;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Interrupt, MobileCtx, Sign, SignKind};
 use qelect_graph::Bicolored;
 
@@ -135,7 +136,7 @@ pub fn run_petersen(bc: &Bicolored, cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..2)
         .map(|_| -> GatedAgent { Box::new(petersen_elect) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 #[cfg(test)]

@@ -16,7 +16,8 @@
 
 use crate::mapdraw::map_drawing;
 use crate::reduce::Courier;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Interrupt, MobileCtx, SignKind};
 use qelect_graph::Bicolored;
 
@@ -70,7 +71,7 @@ pub fn run_quantitative(bc: &Bicolored, cfg: RunConfig, ids: &[u64]) -> RunRepor
         .iter()
         .map(|&id| -> GatedAgent { Box::new(move |ctx| quantitative_elect(ctx, id)) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 #[cfg(test)]

@@ -581,10 +581,16 @@ fn node_reduce_inner<C: MobileCtx>(
 mod tests {
     use super::*;
     use crate::mapdraw::map_drawing;
-    use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+    use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
     use qelect_agentsim::sched::Policy;
-    use qelect_agentsim::AgentOutcome;
+    use qelect_agentsim::{AgentOutcome, FaultPlan};
     use qelect_graph::{families, Bicolored};
+
+    /// Crash-free run through the non-deprecated typed entry (shadows
+    /// the legacy `run_gated` shim for every test below).
+    fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+        run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
+    }
 
     #[test]
     fn barrier_sweep_synchronizes_under_adversarial_policies() {
@@ -706,7 +712,7 @@ mod tests {
     /// with the pure schedule and with the gcd oracle.
     #[test]
     fn reduce_edge_case_instances_end_to_end() {
-        use crate::elect::run_elect;
+        use crate::elect::{elect_agents, ElectFault};
         use crate::solvability::{elect_succeeds, gcd_of_class_sizes};
         use qelect_graph::cache::ordered_classes_cached;
 
@@ -729,7 +735,11 @@ mod tests {
             assert_eq!(schedule.final_d, g, "C{n} {homes:?}");
             assert_eq!(schedule.elects(), g == 1);
 
-            let report = run_elect(&bc, RunConfig::default());
+            let report = run_gated(
+                &bc,
+                RunConfig::default(),
+                elect_agents(bc.r(), ElectFault::default()),
+            );
             assert!(report.interrupted.is_none(), "C{n} {homes:?}");
             assert_eq!(report.clean_election(), g == 1, "C{n} {homes:?}");
             assert_eq!(report.unanimous_unsolvable(), g != 1, "C{n} {homes:?}");

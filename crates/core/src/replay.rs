@@ -26,7 +26,7 @@ use crate::translation_elect::translation_elect;
 use qelect_agentsim::explore::{explore_schedules, ExploreConfig, ExploreReport};
 use qelect_agentsim::fault::{shrink_plan, FaultPlan};
 use qelect_agentsim::gated::{
-    run_gated, run_gated_with, try_run_gated_with, GatedAgent, RunConfig, RunReport,
+    run_gated_faulty, try_run_gated_with, GatedAgent, RunConfig, RunReport,
 };
 use qelect_agentsim::sched::ReplayScheduler;
 use qelect_agentsim::trace::Trace;
@@ -39,7 +39,13 @@ pub fn run_elect_recorded(bc: &Bicolored, cfg: RunConfig, label: &str) -> (RunRe
         record_trace: true,
         ..cfg
     };
-    let report = run_gated(bc, cfg, elect_agents(bc.r(), ElectFault::default()));
+    let report = run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed");
     let trace = report.to_trace(bc, cfg.seed, label);
     (report, trace)
 }
@@ -57,7 +63,7 @@ pub fn run_translation_elect_recorded(
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(translation_elect) })
         .collect();
-    let report = run_gated(bc, cfg, agents);
+    let report = run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed");
     let trace = report.to_trace(bc, cfg.seed, label);
     (report, trace)
 }
@@ -94,12 +100,14 @@ pub fn replay_elect(bc: &Bicolored, trace: &Trace, strict: bool) -> RunReport {
     } else {
         ReplayScheduler::new(trace.schedule.clone())
     };
-    run_gated_with(
+    try_run_gated_with(
         bc,
         cfg,
+        &FaultPlan::none(),
         elect_agents(bc.r(), ElectFault::default()),
         &mut scheduler,
     )
+    .expect("gated run failed")
 }
 
 /// Re-execute a recorded anonymous ring-probe run (the §1.3
@@ -119,7 +127,8 @@ pub fn replay_ring_probe(bc: &Bicolored, trace: &Trace, strict: bool) -> RunRepo
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(ring_probe) })
         .collect();
-    run_gated_with(bc, cfg, agents, &mut scheduler)
+    try_run_gated_with(bc, cfg, &FaultPlan::none(), agents, &mut scheduler)
+        .expect("gated run failed")
 }
 
 /// The correctness property exploration checks, derived from the gcd
@@ -173,7 +182,16 @@ pub fn explore_elect_with_fault(
     };
     explore_schedules(
         explore_cfg,
-        |scheduler| run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), scheduler),
+        |scheduler| {
+            try_run_gated_with(
+                bc,
+                run_cfg,
+                &FaultPlan::none(),
+                elect_agents(bc.r(), fault),
+                scheduler,
+            )
+            .expect("gated run failed")
+        },
         elect_oracle_property(bc),
     )
 }
@@ -280,7 +298,14 @@ pub fn elect_schedule_fails(
         ..run_cfg
     };
     let mut scheduler = ReplayScheduler::new(schedule.to_vec());
-    let report = run_gated_with(bc, run_cfg, elect_agents(bc.r(), fault), &mut scheduler);
+    let report = try_run_gated_with(
+        bc,
+        run_cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), fault),
+        &mut scheduler,
+    )
+    .expect("gated run failed");
     elect_oracle_property(bc)(&report).is_err()
 }
 
@@ -351,7 +376,13 @@ mod tests {
             seed: 4,
             ..RunConfig::default()
         };
-        let report = crate::elect::run_elect(&bc, cfg);
+        let report = run_gated_faulty(
+            &bc,
+            cfg,
+            &FaultPlan::none(),
+            elect_agents(bc.r(), ElectFault::default()),
+        )
+        .expect("gated run failed");
         assert!(elect_oracle_property(&bc)(&report).is_ok());
 
         // A doctored report claiming two leaders must be rejected.

@@ -171,9 +171,10 @@ impl StepAgent for QuantMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+    use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig};
     use qelect_agentsim::message_net::MessageNet;
     use qelect_agentsim::stepagent::drive;
+    use qelect_agentsim::FaultPlan;
     use qelect_graph::{families, Bicolored};
 
     fn native_leader(bc: &Bicolored, ids: &[u64], seed: u64) -> Option<usize> {
@@ -187,7 +188,8 @@ mod tests {
             seed,
             ..RunConfig::default()
         };
-        let report = run_gated(bc, cfg, agents);
+        let report =
+            run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed");
         assert!(report.clean_election(), "{:?}", report.outcomes);
         report.leader
     }

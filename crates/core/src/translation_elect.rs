@@ -30,7 +30,8 @@
 //! extra communication is needed for the impossibility branch.
 
 use crate::elect::{compute_local_view, elect_from_view};
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Interrupt, MobileCtx};
 use qelect_group::recognition::{regular_subgroups, RecognitionBudget};
 
@@ -113,7 +114,7 @@ pub fn run_translation_elect(bc: &qelect_graph::Bicolored, cfg: RunConfig) -> Ru
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(translation_elect) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 #[cfg(test)]

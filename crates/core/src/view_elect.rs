@@ -25,7 +25,8 @@
 //!   verdict is labeling-invariant.
 
 use crate::mapdraw::map_drawing;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_agentsim::{AgentOutcome, Interrupt, MobileCtx};
 use qelect_graph::view::ViewTree;
 use qelect_graph::Bicolored;
@@ -71,7 +72,7 @@ pub fn run_view_elect(bc: &Bicolored, mut cfg: RunConfig) -> RunReport {
     let agents: Vec<GatedAgent> = (0..bc.r())
         .map(|_| -> GatedAgent { Box::new(view_elect) })
         .collect();
-    run_gated(bc, cfg, agents)
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
 }
 
 #[cfg(test)]

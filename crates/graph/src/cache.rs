@@ -423,6 +423,15 @@ impl GraphCaches {
         self.enabled.load(Ordering::SeqCst)
     }
 
+    /// Drop every memoized entry in both caches (counters are kept —
+    /// they are cumulative process totals). `qelectd` exposes this
+    /// through its admin endpoint so cold-cache phases of the serving
+    /// benchmark start from an empty memo, not an empty process.
+    pub fn clear(&self) {
+        self.canon.clear();
+        self.classes.clear();
+    }
+
     /// Combined counters of both caches.
     pub fn stats(&self) -> CacheStats {
         self.canon.stats().merge(&self.classes.stats())

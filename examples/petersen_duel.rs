@@ -22,7 +22,9 @@ fn main() {
         oc.gcd_of_sizes()
     );
 
-    let elect_report = run_elect(&bc, RunConfig::default().to_gated());
+    let elect_report = run_election(&bc, &RunConfig::default())
+        .expect("election run failed")
+        .report;
     println!("ELECT outcome: {:?}", elect_report.outcomes);
 
     println!("\nthe bespoke five-step protocol (mark a neighbor, find the");

@@ -24,7 +24,9 @@ fn main() {
     );
 
     // Election alone, for comparison.
-    let elect_only = run_elect(&instance, RunConfig::default().to_gated());
+    let elect_only = run_election(&instance, &RunConfig::default())
+        .expect("election run failed")
+        .report;
     assert!(elect_only.clean_election(), "{:?}", elect_only.outcomes);
     println!(
         "election alone: leader = agent {:?}, {} moves",

@@ -1,0 +1,139 @@
+//! Compatibility pins for the deprecated v1 run shims.
+//!
+//! The legacy entry points (`run_gated`, `run_gated_with`, `run_free`,
+//! `run_elect`) are `#[deprecated]` but must keep working until they are
+//! removed: downstream users migrate on their own schedule. This test is
+//! the one place in the repo allowed to call them — it pins each shim
+//! against the unified/typed path it forwards to, so any behavioral
+//! drift between the old and new surfaces fails CI.
+#![allow(deprecated)]
+
+use qelect::elect::{elect_agents, ElectFault};
+use qelect::prelude::run_elect;
+use qelect_agentsim::freerun::{run_free, try_run_free, FreeAgent, FreeRunConfig};
+use qelect_agentsim::gated::{
+    run_gated, run_gated_faulty, run_gated_with, try_run_gated_with, GatedAgent, RunConfig,
+};
+use qelect_agentsim::sched::Policy;
+use qelect_agentsim::{
+    run, AgentOutcome, Engine, FaultPlan, MobileCtx, RunConfig as UnifiedConfig,
+};
+use qelect_graph::{families, Bicolored};
+
+fn instance() -> Bicolored {
+    Bicolored::new(families::cycle(9).unwrap(), &[0, 1, 3]).unwrap()
+}
+
+fn agents(bc: &Bicolored) -> Vec<GatedAgent> {
+    elect_agents(bc.r(), ElectFault::default())
+}
+
+#[test]
+fn run_gated_shim_matches_run_gated_faulty() {
+    let bc = instance();
+    for seed in [0u64, 7, 1234] {
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let old = run_gated(&bc, cfg, agents(&bc));
+        let new =
+            run_gated_faulty(&bc, cfg, &FaultPlan::none(), agents(&bc)).expect("gated run failed");
+        assert_eq!(old.outcomes, new.outcomes, "seed {seed}");
+        assert_eq!(old.leader, new.leader, "seed {seed}");
+        assert_eq!(old.interrupted, new.interrupted, "seed {seed}");
+        assert_eq!(
+            old.metrics.total_work(),
+            new.metrics.total_work(),
+            "seed {seed}: the shim must not change the deterministic schedule"
+        );
+    }
+}
+
+#[test]
+fn run_gated_with_shim_matches_try_run_gated_with() {
+    let bc = instance();
+    let cfg = RunConfig {
+        seed: 42,
+        ..RunConfig::default()
+    };
+    let mut s1 = qelect_agentsim::LockstepScheduler::default();
+    let mut s2 = qelect_agentsim::LockstepScheduler::default();
+    let old = run_gated_with(&bc, cfg, agents(&bc), &mut s1);
+    let new = try_run_gated_with(&bc, cfg, &FaultPlan::none(), agents(&bc), &mut s2)
+        .expect("gated run failed");
+    assert_eq!(old.outcomes, new.outcomes);
+    assert_eq!(old.leader, new.leader);
+    assert_eq!(old.trace, new.trace);
+}
+
+#[test]
+fn run_elect_shim_matches_unified_run_election() {
+    let bc = instance();
+    for seed in [0u64, 9, 77] {
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::default()
+        };
+        let old = run_elect(&bc, cfg);
+        let new = qelect::prelude::run_election(&bc, &UnifiedConfig::new(seed))
+            .expect("election run failed")
+            .report;
+        assert_eq!(old.outcomes, new.outcomes, "seed {seed}");
+        assert_eq!(old.leader, new.leader, "seed {seed}");
+        assert_eq!(old.clean_election(), new.clean_election(), "seed {seed}");
+    }
+}
+
+#[test]
+fn run_free_shim_matches_try_run_free() {
+    // The free engine is nondeterministic, so pin the *verdict*, not the
+    // interleaving: both paths must elect cleanly on a solvable instance.
+    let bc = instance();
+    let mk = |bc: &Bicolored| -> Vec<FreeAgent> {
+        (0..bc.r())
+            .map(|_| -> FreeAgent { Box::new(qelect::prelude::elect) })
+            .collect()
+    };
+    let old = run_free(&bc, FreeRunConfig::default(), mk(&bc));
+    let new = try_run_free(&bc, FreeRunConfig::default(), &FaultPlan::none(), mk(&bc))
+        .expect("free run failed");
+    assert!(old.clean_election(), "{:?}", old.outcomes);
+    assert!(new.clean_election(), "{:?}", new.outcomes);
+    assert_eq!(old.leader.is_some(), new.leader.is_some());
+}
+
+#[test]
+fn deprecated_policy_knobs_still_reach_the_engine() {
+    // The legacy config surface (per-policy fields) must keep steering
+    // the same engine the unified builder reaches.
+    let bc = instance();
+    let cfg = RunConfig {
+        seed: 5,
+        policy: Policy::Lockstep,
+        ..RunConfig::default()
+    };
+    let old = run_gated(&bc, cfg, agents(&bc));
+
+    #[derive(Clone)]
+    struct ElectProto;
+    impl qelect_agentsim::Protocol for ElectProto {
+        fn run<C: MobileCtx>(
+            &self,
+            ctx: &mut C,
+        ) -> Result<AgentOutcome, qelect_agentsim::Interrupt> {
+            qelect::prelude::elect(ctx)
+        }
+    }
+    let new = run(
+        &bc,
+        &UnifiedConfig::new(5)
+            .engine(Engine::Gated)
+            .policy(Policy::Lockstep),
+        &ElectProto,
+    )
+    .expect("unified run failed")
+    .report;
+    assert_eq!(old.outcomes, new.outcomes);
+    assert_eq!(old.leader, new.leader);
+}

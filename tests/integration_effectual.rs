@@ -9,6 +9,19 @@ use qelect_agentsim::gated::RunConfig;
 use qelect_agentsim::AgentOutcome;
 use qelect_graph::{families, Bicolored};
 use qelect_group::marking::{marking_schedule, verify_witness_labeling};
+
+/// Crash-free ELECT through the non-deprecated typed entry (shadows the
+/// deprecated `run_elect` shim re-exported by the prelude glob).
+fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    use qelect::elect::{elect_agents, ElectFault};
+    qelect_agentsim::gated::run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed")
+}
 use qelect_group::recognition::RecognitionBudget;
 use qelect_group::CayleyGraph;
 

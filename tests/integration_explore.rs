@@ -172,15 +172,17 @@ fn recorded_exploration_counterexample_replays_deterministically() {
     let ce = report.counterexample.expect("fault surfaces");
 
     let mut scheduler = qelect_agentsim::ReplayScheduler::strict(ce.schedule.clone());
-    let replayed = qelect_agentsim::run_gated_with(
+    let replayed = qelect_agentsim::gated::try_run_gated_with(
         &bc,
         RunConfig {
             record_trace: true,
             ..cfg
         },
+        &qelect_agentsim::FaultPlan::none(),
         qelect::elect::elect_agents(bc.r(), fault),
         &mut scheduler,
-    );
+    )
+    .expect("replay run failed");
     assert_eq!(replayed.outcomes, ce.report.outcomes);
     assert_eq!(replayed.leader, ce.report.leader);
     assert_eq!(replayed.trace, ce.schedule);

@@ -1,0 +1,311 @@
+//! Loopback integration tests for `qelectd` (the serving daemon of
+//! `qelect-bench`): concurrent clients, single-flight dedup,
+//! malformed-request 400s, queue-full 503s, and graceful shutdown
+//! draining every admitted job.
+//!
+//! Each test talks real HTTP/1.1 over a loopback `TcpStream` through
+//! its own minimal client, so the daemon's wire format is exercised
+//! end to end rather than through the crate's internal client.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use qelect_agentsim::json::{envelope, get, Value};
+use qelect_bench::serve::{start, ServeConfig, ServerHandle};
+
+/// POST (or GET) once on a fresh connection; returns (status, body).
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).expect("send head");
+    stream.write_all(body.as_bytes()).expect("send body");
+    let mut reader = BufReader::new(stream);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    let code: u16 = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status:?}"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header");
+        if line.trim_end().is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content-length");
+            }
+        }
+    }
+    let mut buf = vec![0u8; content_length];
+    reader.read_exact(&mut buf).expect("body");
+    (code, String::from_utf8(buf).expect("utf8 body"))
+}
+
+fn parse_response(body: &str) -> Vec<(String, Value)> {
+    envelope::check_document(body, envelope::RESPONSE).unwrap_or_else(|e| panic!("{e}: {body}"))
+}
+
+fn elect_body(spec: &str, seed: u64, extra: &str) -> String {
+    format!(r#"{{"schema": "qelect-request/1", "spec": "{spec}", "seed": {seed}{extra}}}"#)
+}
+
+fn spawn(cfg: ServeConfig) -> ServerHandle {
+    start(cfg).expect("bind loopback daemon")
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn healthz_metrics_and_elections_answer_versioned_json() {
+    let server = spawn(test_config());
+    let addr = server.addr();
+
+    let (code, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!(code, 200);
+    let health = parse_response(&body);
+    assert_eq!(get(&health, "status").unwrap().as_str(), Some("ok"));
+
+    // A solvable instance elects; the response carries the oracle facts.
+    let (code, body) = http(
+        addr,
+        "POST",
+        "/v1/elect",
+        &elect_body("cycle:9@0,1,3", 7, ""),
+    );
+    assert_eq!(code, 200, "{body}");
+    let resp = parse_response(&body);
+    assert_eq!(get(&resp, "outcome").unwrap().as_str(), Some("elected"));
+    assert_eq!(get(&resp, "solvable").unwrap().as_bool(), Some(true));
+    assert_eq!(get(&resp, "gcd").unwrap().as_num(), Some(1.0));
+    assert!(get(&resp, "leader").unwrap().as_num().is_some());
+    assert_eq!(get(&resp, "coalesced").unwrap().as_bool(), Some(false));
+
+    // An unsolvable one reports the unanimous verdict.
+    let (code, body) = http(addr, "POST", "/v1/elect", &elect_body("cycle:6@0,3", 7, ""));
+    assert_eq!(code, 200, "{body}");
+    let resp = parse_response(&body);
+    assert_eq!(get(&resp, "outcome").unwrap().as_str(), Some("unsolvable"));
+    assert_eq!(get(&resp, "solvable").unwrap().as_bool(), Some(false));
+    assert_eq!(get(&resp, "gcd").unwrap().as_num(), Some(2.0));
+
+    let (code, body) = http(addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    let metrics = parse_response(&body);
+    assert_eq!(get(&metrics, "completed").unwrap().as_num(), Some(2.0));
+    assert!(get(&metrics, "cache").is_some());
+    assert!(get(&metrics, "phases").unwrap().as_array().is_some());
+    assert!(get(&metrics, "classes").unwrap().as_array().is_some());
+
+    let (code, _) = http(addr, "GET", "/nope", "");
+    assert_eq!(code, 404);
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_agree_with_the_oracle() {
+    let server = spawn(test_config());
+    let addr = server.addr();
+    let mix = [
+        ("cycle:9@0,1,3", "elected"),
+        ("cycle:6@0,3", "unsolvable"),
+        ("petersen@0,1", "unsolvable"),
+        ("cycle:12@0,1,3", "elected"),
+    ];
+    std::thread::scope(|scope| {
+        for client in 0..8usize {
+            let mix = &mix;
+            scope.spawn(move || {
+                for round in 0..4u64 {
+                    let (spec, expected) = mix[(client + round as usize) % mix.len()];
+                    // Distinct seeds: every request is a private run.
+                    let seed = client as u64 * 1000 + round;
+                    let (code, body) = http(addr, "POST", "/v1/elect", &elect_body(spec, seed, ""));
+                    assert_eq!(code, 200, "{body}");
+                    let resp = parse_response(&body);
+                    assert_eq!(
+                        get(&resp, "outcome").unwrap().as_str(),
+                        Some(expected),
+                        "{spec} seed {seed}"
+                    );
+                }
+            });
+        }
+    });
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = parse_response(&body);
+    assert_eq!(get(&metrics, "completed").unwrap().as_num(), Some(32.0));
+    server.shutdown();
+}
+
+#[test]
+fn identical_inflight_requests_coalesce_to_one_run() {
+    let server = spawn(ServeConfig {
+        debug: true,
+        workers: 2,
+        ..test_config()
+    });
+    let addr = server.addr();
+    // Two byte-identical requests; the debug sleep holds the first in a
+    // worker long enough for the second to attach to its result cell.
+    let body = elect_body("cycle:9@0,1,3", 42, r#", "debug_sleep_ms": 300"#);
+    let coalesced_count = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for wait_ms in [0u64, 100] {
+            let (body, coalesced_count) = (&body, &coalesced_count);
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(wait_ms));
+                let (code, resp_body) = http(addr, "POST", "/v1/elect", body);
+                assert_eq!(code, 200, "{resp_body}");
+                let resp = parse_response(&resp_body);
+                assert_eq!(get(&resp, "outcome").unwrap().as_str(), Some("elected"));
+                if get(&resp, "coalesced").unwrap().as_bool() == Some(true) {
+                    coalesced_count.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        coalesced_count.load(Ordering::SeqCst),
+        1,
+        "exactly the second arrival coalesces"
+    );
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = parse_response(&body);
+    assert_eq!(
+        get(&metrics, "completed").unwrap().as_num(),
+        Some(1.0),
+        "one run served both requests"
+    );
+    assert_eq!(get(&metrics, "coalesced").unwrap().as_num(), Some(1.0));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_400_without_touching_the_queue() {
+    let server = spawn(test_config());
+    let addr = server.addr();
+    for bad in [
+        "not json at all",
+        r#"{"spec": "cycle:9"}"#,
+        r#"{"schema": "qelect-sweep/1", "spec": "cycle:9"}"#,
+        r#"{"schema": "qelect-request/1"}"#,
+        r#"{"schema": "qelect-request/1", "spec": "nosuch:9"}"#,
+        r#"{"schema": "qelect-request/1", "spec": "cycle:9@0,0"}"#,
+        r#"{"schema": "qelect-request/1", "spec": "cycle:9", "engine": "warp"}"#,
+        r#"{"schema": "qelect-request/1", "spec": "cycle:9", "policy": "warp"}"#,
+        r#"{"schema": "qelect-request/1", "spec": "cycle:9", "faults": {"bogus": 1}}"#,
+    ] {
+        let (code, body) = http(addr, "POST", "/v1/elect", bad);
+        assert_eq!(code, 400, "{bad} -> {body}");
+        let resp = parse_response(&body);
+        assert_eq!(get(&resp, "kind").unwrap().as_str(), Some("error"));
+        assert!(get(&resp, "error").unwrap().as_str().is_some());
+    }
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = parse_response(&body);
+    assert_eq!(get(&metrics, "bad_requests").unwrap().as_num(), Some(9.0));
+    assert_eq!(get(&metrics, "requests").unwrap().as_num(), Some(0.0));
+    assert_eq!(get(&metrics, "completed").unwrap().as_num(), Some(0.0));
+    server.shutdown();
+}
+
+#[test]
+fn queue_overflow_answers_503_with_retry_hint() {
+    let server = spawn(ServeConfig {
+        debug: true,
+        workers: 1,
+        queue_cap: 1,
+        retry_after_ms: 25,
+        ..test_config()
+    });
+    let addr = server.addr();
+    let slow = |seed| elect_body("cycle:9@0,1,3", seed, r#", "debug_sleep_ms": 500"#);
+    std::thread::scope(|scope| {
+        // Seed 1 occupies the single worker; seed 2 fills the queue.
+        scope.spawn(|| {
+            let (code, body) = http(addr, "POST", "/v1/elect", &slow(1));
+            assert_eq!(code, 200, "{body}");
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        scope.spawn(|| {
+            let (code, body) = http(addr, "POST", "/v1/elect", &slow(2));
+            assert_eq!(code, 200, "{body}");
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        // Seed 3 finds the queue full: backpressure, not buffering.
+        let (code, body) = http(addr, "POST", "/v1/elect", &slow(3));
+        assert_eq!(code, 503, "{body}");
+        let resp = parse_response(&body);
+        assert_eq!(get(&resp, "kind").unwrap().as_str(), Some("error"));
+        assert_eq!(get(&resp, "retry_after_ms").unwrap().as_num(), Some(25.0));
+    });
+    let (_, body) = http(addr, "GET", "/metrics", "");
+    let metrics = parse_response(&body);
+    assert_eq!(
+        get(&metrics, "rejected_queue_full").unwrap().as_num(),
+        Some(1.0)
+    );
+    assert_eq!(get(&metrics, "completed").unwrap().as_num(), Some(2.0));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_every_admitted_job() {
+    let server = spawn(ServeConfig {
+        debug: true,
+        workers: 2,
+        queue_cap: 32,
+        ..test_config()
+    });
+    let addr = server.addr();
+    let answered = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Eight slow jobs: two run, six sit in the queue when the
+        // shutdown lands. All eight must still be answered.
+        for seed in 0..8u64 {
+            let answered = &answered;
+            scope.spawn(move || {
+                let body = elect_body("cycle:9@0,1,3", seed, r#", "debug_sleep_ms": 150"#);
+                let (code, resp_body) = http(addr, "POST", "/v1/elect", &body);
+                assert_eq!(code, 200, "seed {seed}: {resp_body}");
+                let resp = parse_response(&resp_body);
+                assert_eq!(get(&resp, "outcome").unwrap().as_str(), Some("elected"));
+                answered.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        let (code, body) = http(addr, "POST", "/shutdown", "");
+        assert_eq!(code, 200, "{body}");
+        let resp = parse_response(&body);
+        assert_eq!(get(&resp, "status").unwrap().as_str(), Some("draining"));
+        // New elections are refused while the queue drains.
+        let late = elect_body("cycle:6@0,3", 99, "");
+        let (code, body) = http(addr, "POST", "/v1/elect", &late);
+        assert_eq!(code, 503, "{body}");
+    });
+    assert_eq!(answered.load(Ordering::SeqCst), 8, "no dropped responses");
+    let final_metrics = server.shutdown();
+    let metrics = parse_response(&final_metrics);
+    assert_eq!(get(&metrics, "completed").unwrap().as_num(), Some(8.0));
+    assert_eq!(
+        get(&metrics, "rejected_draining").unwrap().as_num(),
+        Some(1.0)
+    );
+}

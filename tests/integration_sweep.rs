@@ -11,12 +11,25 @@
 //! * the committed C6 double-election witness replays bit-for-bit
 //!   through the cached path, cold and warm.
 
-use qelect::prelude::{gcd_of_class_sizes, run_elect, Trace};
+use qelect::prelude::{gcd_of_class_sizes, Trace};
 use qelect::solvability::elect_succeeds;
-use qelect_agentsim::gated::RunConfig;
+use qelect_agentsim::gated::{run_gated_faulty, RunConfig, RunReport};
+use qelect_agentsim::FaultPlan;
 use qelect_bench::sweep::{run_sweep, SweepBucket, SweepConfig};
 use qelect_graph::cache;
 use qelect_graph::{families, Bicolored};
+
+/// Crash-free ELECT through the non-deprecated typed entry.
+fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    use qelect::elect::{elect_agents, ElectFault};
+    run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed")
+}
 
 fn small_config(workers: usize) -> SweepConfig {
     SweepConfig {

@@ -3,10 +3,16 @@
 //! network must produce the same election result.
 
 use qelect::stepquant::QuantMachine;
-use qelect_agentsim::gated::{run_gated, GatedAgent, RunConfig};
+use qelect_agentsim::gated::{run_gated_faulty, GatedAgent, RunConfig, RunReport};
 use qelect_agentsim::message_net::MessageNet;
 use qelect_agentsim::stepagent::{drive, StepAgent};
+use qelect_agentsim::FaultPlan;
 use qelect_graph::{families, Bicolored};
+
+/// Crash-free run through the non-deprecated typed entry.
+fn run_gated(bc: &Bicolored, cfg: RunConfig, agents: Vec<GatedAgent>) -> RunReport {
+    run_gated_faulty(bc, cfg, &FaultPlan::none(), agents).expect("gated run failed")
+}
 
 fn native_leader(bc: &Bicolored, ids: &[u64], seed: u64) -> Option<usize> {
     let agents: Vec<GatedAgent> = ids

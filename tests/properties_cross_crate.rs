@@ -23,6 +23,19 @@ use qelect_graph::canon::are_isomorphic;
 use qelect_graph::surrounding::{gcd, ordered_classes};
 use qelect_graph::{automorphism, families, symmetricity, Bicolored, ColoredDigraph};
 
+/// Crash-free ELECT through the non-deprecated typed entry (shadows the
+/// deprecated `run_elect` shim re-exported by the prelude glob).
+fn run_elect(bc: &Bicolored, cfg: RunConfig) -> RunReport {
+    use qelect::elect::{elect_agents, ElectFault};
+    qelect_agentsim::gated::run_gated_faulty(
+        bc,
+        cfg,
+        &FaultPlan::none(),
+        elect_agents(bc.r(), ElectFault::default()),
+    )
+    .expect("gated run failed")
+}
+
 /// A random connected graph + placement strategy.
 fn instance_strategy() -> impl Strategy<Value = Bicolored> {
     (4usize..10, 0.05f64..0.5, any::<u64>(), 1usize..4).prop_map(|(n, p, seed, r)| {
@@ -101,7 +114,7 @@ proptest! {
 
     #[test]
     fn map_drawing_reconstructs_instance(bc in instance_strategy(), seed in any::<u64>()) {
-        use qelect_agentsim::gated::{run_gated, GatedAgent};
+        use qelect_agentsim::gated::{run_gated_faulty, GatedAgent};
         use std::sync::mpsc;
         let (tx, rx) = mpsc::channel();
         let agents: Vec<GatedAgent> = (0..bc.r())
@@ -115,7 +128,8 @@ proptest! {
             })
             .collect();
         let cfg = RunConfig { seed, ..RunConfig::default() };
-        let report = run_gated(&bc, cfg, agents);
+        let report = run_gated_faulty(&bc, cfg, &FaultPlan::none(), agents)
+            .expect("gated run failed");
         prop_assert!(report.interrupted.is_none());
         drop(tx);
         for map in rx {
